@@ -1,0 +1,101 @@
+// Microbenchmarks of the simulator itself (google-benchmark): event-queue
+// throughput, max-min re-solve cost, TCP transfer simulation rate and
+// end-to-end MPI message rate. These bound how large an experiment the
+// harness can simulate per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include "mpi/mpi.hpp"
+#include "profiles/profiles.hpp"
+#include "simcore/simulation.hpp"
+#include "simnet/network.hpp"
+#include "simtcp/tcp.hpp"
+#include "topology/grid5000.hpp"
+
+namespace {
+
+using namespace gridsim;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i)
+      q.schedule(i * 7 % 997, [&sink] { ++sink; });
+    while (!q.empty()) q.run_next();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_MaxMinSolve(benchmark::State& state) {
+  const int nflows = static_cast<int>(state.range(0));
+  Simulation sim;
+  net::Network n(sim);
+  const auto wan = n.add_link("wan", 1e9, milliseconds(5), 1e6);
+  std::vector<net::FlowId> flows;
+  for (int i = 0; i < nflows; ++i) {
+    const auto s = n.add_host("s" + std::to_string(i));
+    const auto d = n.add_host("d" + std::to_string(i));
+    const auto up = n.add_link("u" + std::to_string(i), 1e8, 0, 1e6);
+    n.add_route(s, d, {up, wan});
+    flows.push_back(n.start_flow(s, d, 1e15, 5e7, nullptr));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // Each cap change triggers a full settle + re-solve.
+    n.set_rate_cap(flows[i % flows.size()], 4e7 + double(i % 100));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MaxMinSolve)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TcpTransfer1MB(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    net::Network n(sim);
+    const auto a = n.add_host("a");
+    const auto b = n.add_host("b");
+    const auto l = n.add_link("wan", tcp::ethernet_goodput(1e9),
+                              microseconds(5800), 1e6);
+    n.add_route(a, b, {l});
+    const auto k = tcp::KernelTunables::grid_tuned();
+    tcp::TcpChannel ch(n, a, b, k, k, {});
+    ch.send(1e6, nullptr, nullptr);
+    sim.run();
+    benchmark::DoNotOptimize(ch.bytes_delivered());
+  }
+}
+BENCHMARK(BM_TcpTransfer1MB);
+
+void BM_MpiPingpongRound(benchmark::State& state) {
+  Simulation sim;
+  topo::Grid grid(sim, topo::GridSpec::rennes_nancy(1));
+  auto cfg = profiles::configure(profiles::mpich2(),
+                                 profiles::TuningLevel::kTcpTuned);
+  mpi::Job job(grid, mpi::block_placement(grid, 2), cfg.profile, cfg.kernel);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Trigger done(sim);
+    state.ResumeTiming();
+    auto ping = [](mpi::Rank& r, Trigger* t) -> Task<void> {
+      co_await r.send(1, 4096, 0);
+      (void)co_await r.recv(1, 0);
+      t->fire();
+    };
+    auto pong = [](mpi::Rank& r) -> Task<void> {
+      (void)co_await r.recv(0, 0);
+      co_await r.send(0, 4096, 0);
+    };
+    sim.spawn(ping(job.rank(0), &done));
+    sim.spawn(pong(job.rank(1)));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MpiPingpongRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

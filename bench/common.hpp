@@ -1,0 +1,63 @@
+// Shared helpers for the experiment benches. Every bench binary prints the
+// rows/series of one table or figure of the paper, with the paper's values
+// quoted alongside for comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/pingpong.hpp"
+#include "harness/report.hpp"
+#include "profiles/profiles.hpp"
+
+namespace gridsim::bench {
+
+/// TCP baseline + the four implementations, in the paper's order.
+inline std::vector<mpi::ImplProfile> profiles_with_tcp() {
+  std::vector<mpi::ImplProfile> v;
+  v.push_back(profiles::raw_tcp());
+  for (auto& p : profiles::all_implementations()) v.push_back(p);
+  return v;
+}
+
+/// Runs the 1 kB..64 MB bandwidth sweep for every profile and prints the
+/// figure as CSV + an ASCII chart.
+inline void bandwidth_figure(const std::string& title, bool grid,
+                             profiles::TuningLevel level) {
+  const auto spec = grid ? topo::GridSpec::rennes_nancy(1)
+                         : topo::GridSpec::single_cluster(2);
+  const harness::PingpongEndpoints ends =
+      grid ? harness::PingpongEndpoints{0, 0, 1, 0}
+           : harness::PingpongEndpoints{0, 0, 0, 1};
+  harness::PingpongOptions options;
+  options.sizes = harness::pow2_sizes(1024, 64.0 * 1024 * 1024);
+  options.rounds = 12;
+
+  const auto impls = profiles_with_tcp();
+  std::vector<std::string> series_names;
+  std::vector<std::vector<double>> values;
+  for (const auto& impl : impls) {
+    const auto cfg = profiles::configure(impl, level);
+    const auto points = harness::pingpong_sweep(spec, ends, cfg, options);
+    series_names.push_back(impl.name + " on TCP");
+    values.emplace_back();
+    for (const auto& p : points) values.back().push_back(p.max_bandwidth_mbps);
+  }
+
+  std::vector<std::string> headers{"size"};
+  for (const auto& n : series_names) headers.push_back(n);
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> x_labels;
+  for (std::size_t i = 0; i < options.sizes.size(); ++i) {
+    x_labels.push_back(harness::format_bytes(options.sizes[i]));
+    rows.push_back({x_labels.back()});
+    for (auto& v : values)
+      rows.back().push_back(harness::format_double(v[i], 1));
+  }
+  harness::print_csv(title + " -- MPI bandwidth (Mbps)", headers, rows);
+  harness::print_ascii_chart(title, series_names, x_labels, values, 1000,
+                             "Mbps");
+}
+
+}  // namespace gridsim::bench

@@ -1,0 +1,51 @@
+// Shared helpers for the NAS campaign benches (Figs 10-13).
+//
+// The paper runs NPB 2.4 class B on 16 processes (8+8 across the WAN, or
+// all 16 in one cluster) and on 4 processes, with the TCP tuning of
+// Section 4.2.1 applied (the campaign postdates the tuning study).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/npb_campaign.hpp"
+#include "harness/report.hpp"
+#include "profiles/profiles.hpp"
+
+namespace gridsim::bench {
+
+inline profiles::ExperimentConfig nas_config(const mpi::ImplProfile& impl) {
+  return profiles::configure(impl, profiles::TuningLevel::kTcpTuned);
+}
+
+/// Runtime of every kernel for one implementation on one deployment.
+inline std::map<npb::Kernel, double> nas_suite_seconds(
+    const topo::GridSpec& spec, int nranks, npb::Class cls,
+    const mpi::ImplProfile& impl) {
+  std::map<npb::Kernel, double> out;
+  const auto cfg = nas_config(impl);
+  for (npb::Kernel k : npb::all_kernels()) {
+    const auto res = harness::run_npb(spec, nranks, k, cls, cfg);
+    out[k] = to_seconds(res.makespan);
+  }
+  return out;
+}
+
+/// Prints a kernel x implementation table of values.
+inline void print_kernel_table(
+    const std::string& title, const std::vector<std::string>& impl_names,
+    const std::vector<std::map<npb::Kernel, double>>& per_impl,
+    int precision = 2) {
+  std::vector<std::string> headers{"kernel"};
+  for (const auto& n : impl_names) headers.push_back(n);
+  std::vector<std::vector<std::string>> rows;
+  for (npb::Kernel k : npb::all_kernels()) {
+    rows.push_back({npb::name(k)});
+    for (const auto& m : per_impl)
+      rows.back().push_back(harness::format_double(m.at(k), precision));
+  }
+  harness::print_table(title, headers, rows);
+}
+
+}  // namespace gridsim::bench

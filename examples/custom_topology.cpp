@@ -1,0 +1,56 @@
+// Build a custom grid from scratch and drive the lower layers directly:
+// the fluid network (max-min shared links) and the TCP channel model
+// (windows, buffers, pacing) — the substrate the MPI layer sits on.
+//
+//   $ ./custom_topology
+#include <cstdio>
+
+#include "simcore/simulation.hpp"
+#include "simnet/network.hpp"
+#include "simtcp/tcp.hpp"
+
+int main() {
+  using namespace gridsim;
+  using namespace gridsim::literals;
+
+  Simulation sim;
+  net::Network n(sim);
+
+  // A three-node chain: two senders share one 1 GbE bottleneck toward a
+  // common sink, 20 ms one-way.
+  const auto a = n.add_host("sender-a");
+  const auto b = n.add_host("sender-b");
+  const auto sink = n.add_host("sink");
+  const auto up_a = n.add_link("a.up", tcp::ethernet_goodput(1e9), 100_us, 1e6);
+  const auto up_b = n.add_link("b.up", tcp::ethernet_goodput(1e9), 100_us, 1e6);
+  const auto wan = n.add_link("wan", tcp::ethernet_goodput(1e9), 20_ms, 1e6);
+  n.add_route(a, sink, {up_a, wan}, /*symmetric=*/true);
+  n.add_route(b, sink, {up_b, wan}, /*symmetric=*/true);
+
+  // Sender A: stock kernel. Sender B: tuned buffers + pacing.
+  const auto stock = tcp::KernelTunables::linux_2_6_18_default();
+  const auto tuned = tcp::KernelTunables::grid_tuned();
+  tcp::SocketOptions paced;
+  paced.pacing = true;
+  tcp::TcpChannel cha(n, a, sink, stock, stock, {});
+  tcp::TcpChannel chb(n, b, sink, tuned, tuned, paced);
+
+  SimTime done_a = 0, done_b = 0;
+  const double bytes = 256e6;
+  cha.send(bytes, nullptr, [&] { done_a = sim.now(); });
+  chb.send(bytes, nullptr, [&] { done_b = sim.now(); });
+  sim.run();
+
+  std::printf("256 MB over a shared 1 GbE path, 40 ms RTT\n");
+  std::printf("  stock kernel : %6.2f s  (%.0f Mbps, %d losses)\n",
+              to_seconds(done_a), bytes * 8 / to_seconds(done_a) / 1e6,
+              cha.loss_events());
+  std::printf("  tuned+paced  : %6.2f s  (%.0f Mbps, %d losses)\n",
+              to_seconds(done_b), bytes * 8 / to_seconds(done_b) / 1e6,
+              chb.loss_events());
+  std::printf(
+      "\nThe stock kernel's ~175 kB auto-tuning bound caps the window at\n"
+      "~35 Mbps on a 40 ms RTT; the tuned sender takes the rest of the\n"
+      "bottleneck (max-min fair sharing).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Run one NAS kernel on a cluster and on the grid and compare.
+//
+//   $ ./nas_on_grid [kernel] [class] [ranks]
+//   $ ./nas_on_grid CG B 16
+#include <cstdio>
+#include <string>
+
+#include "harness/npb_campaign.hpp"
+#include "harness/report.hpp"
+#include "profiles/profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridsim;
+
+  const std::string kernel_name = argc > 1 ? argv[1] : "CG";
+  const std::string class_name = argc > 2 ? argv[2] : "A";
+  const int nranks = argc > 3 ? std::atoi(argv[3]) : 16;
+
+  npb::Kernel kernel = npb::Kernel::kCG;
+  bool found = false;
+  for (npb::Kernel k : npb::all_kernels()) {
+    if (npb::name(k) == kernel_name) {
+      kernel = k;
+      found = true;
+    }
+  }
+  if (!found || nranks <= 0 || nranks % 2 != 0) {
+    std::fprintf(stderr,
+                 "usage: nas_on_grid [EP|CG|MG|LU|SP|BT|IS|FT] [S|A|B] "
+                 "[even rank count]\n");
+    return 1;
+  }
+  const npb::Class cls = class_name == "S"   ? npb::Class::kS
+                         : class_name == "B" ? npb::Class::kB
+                                             : npb::Class::kA;
+  try {
+    npb::validate_ranks(kernel, nranks);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  std::printf("NPB %s class %s on %d processes (MPICH2 profile, TCP tuned)\n",
+              kernel_name.c_str(), class_name.c_str(), nranks);
+  const auto cfg = profiles::configure(profiles::mpich2(),
+                                       profiles::TuningLevel::kTcpTuned);
+  const auto cluster = harness::run_npb(
+      topo::GridSpec::single_cluster(nranks), nranks, kernel, cls, cfg);
+  const auto grid = harness::run_npb(topo::GridSpec::rennes_nancy(nranks / 2),
+                                     nranks, kernel, cls, cfg);
+
+  std::printf("  one cluster      : %8.2f s\n", to_seconds(cluster.makespan));
+  std::printf("  split by the WAN : %8.2f s\n", to_seconds(grid.makespan));
+  std::printf("  grid efficiency  : %8.2f\n",
+              to_seconds(cluster.makespan) / to_seconds(grid.makespan));
+  std::printf(
+      "  traffic          : %llu p2p msgs (%.1f MB), %llu collective msgs "
+      "(%.1f MB)\n",
+      static_cast<unsigned long long>(grid.traffic.p2p_messages),
+      grid.traffic.p2p_bytes / 1e6,
+      static_cast<unsigned long long>(grid.traffic.collective_messages),
+      grid.traffic.collective_bytes / 1e6);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: simulate an MPI ping-pong between two Grid'5000 clusters.
+//
+//   $ ./quickstart
+//
+// Builds the paper's Rennes--Nancy testbed, runs MPICH2-like ping-pong
+// with default and tuned configurations, and prints what the tuning buys.
+#include <cstdio>
+
+#include "harness/pingpong.hpp"
+#include "harness/report.hpp"
+#include "profiles/profiles.hpp"
+
+int main() {
+  using namespace gridsim;
+
+  // 1. Describe the deployment: two 8-node clusters, 11.6 ms RTT WAN.
+  const topo::GridSpec spec = topo::GridSpec::rennes_nancy(8);
+
+  // 2. Pick an implementation profile and a tuning level.
+  const mpi::ImplProfile impl = profiles::mpich2();
+
+  // 3. Run a ping-pong sweep between one node of each cluster.
+  const harness::PingpongEndpoints ends{/*site_a=*/0, /*node_a=*/0,
+                                        /*site_b=*/1, /*node_b=*/0};
+  harness::PingpongOptions options;
+  options.sizes = harness::pow2_sizes(1024, 16.0 * 1024 * 1024);
+  options.rounds = 10;
+
+  std::printf("MPI ping-pong, Rennes -> Nancy (11.6 ms RTT, 1 GbE NICs)\n");
+  std::printf("%10s %16s %16s\n", "size", "default (Mbps)", "tuned (Mbps)");
+  const auto defaults = harness::pingpong_sweep(
+      spec, ends,
+      profiles::configure(impl, profiles::TuningLevel::kDefault), options);
+  const auto tuned = harness::pingpong_sweep(
+      spec, ends,
+      profiles::configure(impl, profiles::TuningLevel::kFullyTuned), options);
+  for (std::size_t i = 0; i < defaults.size(); ++i) {
+    std::printf("%10s %16.1f %16.1f\n",
+                harness::format_bytes(defaults[i].bytes).c_str(),
+                defaults[i].max_bandwidth_mbps,
+                tuned[i].max_bandwidth_mbps);
+  }
+  std::printf(
+      "\nThe default kernel caps the TCP window at ~175 kB: on an 11.6 ms\n"
+      "path that is ~120 Mbps no matter how fast the link is. Tuning the\n"
+      "socket buffers to 4 MB and raising the eager/rendez-vous threshold\n"
+      "recovers ~900 Mbps (the paper's Section 4.2).\n");
+  return 0;
+}

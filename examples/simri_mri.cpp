@@ -1,0 +1,45 @@
+// Simri MRI simulator (paper Section 2.2.2): master/slave static division.
+//
+//   $ ./simri_mri [object_n] [nodes]
+//
+// Reproduces the published observations: ~100% efficiency on an 8-node
+// cluster (the master does not compute) and communication under ~1.5% of
+// the runtime once the object reaches 256x256.
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/simri.hpp"
+#include "profiles/profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridsim;
+
+  apps::SimriConfig app;
+  if (argc > 1) app.object_n = std::atoi(argv[1]);
+  const int nodes = argc > 2 ? std::atoi(argv[2]) : 8;
+  if (app.object_n < 8 || nodes < 2 || nodes > 16) {
+    std::fprintf(stderr, "usage: simri_mri [object_n >= 8] [2 <= nodes <= 16]\n");
+    return 1;
+  }
+
+  const auto cfg = profiles::configure(profiles::mpich2(),
+                                       profiles::TuningLevel::kDefault);
+  std::printf("Simri: %dx%d object on %d nodes (1 master + %d slaves)\n\n",
+              app.object_n, app.object_n, nodes, nodes - 1);
+  std::printf("%8s %12s %12s %12s %12s\n", "object", "total (s)", "comm %",
+              "speedup", "efficiency");
+  for (int n = app.object_n / 4; n <= app.object_n; n *= 2) {
+    apps::SimriConfig scaled = app;
+    scaled.object_n = n;
+    const auto res =
+        apps::run_simri(topo::GridSpec::single_cluster(16), nodes, cfg,
+                        scaled);
+    std::printf("%5dx%-5d %10.2f %11.2f%% %12.2f %12.2f\n", n, n,
+                to_seconds(res.total_time), res.comm_fraction * 100,
+                res.speedup, res.efficiency);
+  }
+  std::printf(
+      "\nPaper: with the object at 256x256 or larger, communication and\n"
+      "synchronisation cost ~1.5%% and the efficiency approaches 100%%.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Tuning explorer: show what each of the paper's tuning steps buys for a
+// chosen MPI implementation on the grid.
+//
+//   $ ./tuning_explorer [MPICH2|GridMPI|MPICH-Madeleine|OpenMPI]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/pingpong.hpp"
+#include "harness/report.hpp"
+#include "profiles/profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridsim;
+
+  const std::string want = argc > 1 ? argv[1] : "OpenMPI";
+  mpi::ImplProfile impl;
+  bool found = false;
+  for (const auto& p : profiles::all_implementations()) {
+    if (p.name == want) {
+      impl = p;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr,
+                 "unknown implementation '%s' (try MPICH2, GridMPI, "
+                 "MPICH-Madeleine, OpenMPI)\n",
+                 want.c_str());
+    return 1;
+  }
+
+  const topo::GridSpec spec = topo::GridSpec::rennes_nancy(1);
+  const harness::PingpongEndpoints ends{0, 0, 1, 0};
+  harness::PingpongOptions options;
+  options.sizes = harness::pow2_sizes(1024, 64.0 * 1024 * 1024);
+  options.rounds = 10;
+
+  std::printf("%s on the Rennes--Nancy path, by tuning level\n\n",
+              impl.name.c_str());
+  std::printf("%10s %14s %14s %14s\n", "size", "default", "tcp-tuned",
+              "fully-tuned");
+  std::vector<std::vector<harness::PingpongPoint>> runs;
+  for (auto level :
+       {profiles::TuningLevel::kDefault, profiles::TuningLevel::kTcpTuned,
+        profiles::TuningLevel::kFullyTuned}) {
+    runs.push_back(harness::pingpong_sweep(
+        spec, ends, profiles::configure(impl, level), options));
+  }
+  for (std::size_t i = 0; i < options.sizes.size(); ++i) {
+    std::printf("%10s %14.1f %14.1f %14.1f\n",
+                harness::format_bytes(options.sizes[i]).c_str(),
+                runs[0][i].max_bandwidth_mbps, runs[1][i].max_bandwidth_mbps,
+                runs[2][i].max_bandwidth_mbps);
+  }
+  std::printf(
+      "\nStep 1 (tcp-tuned): 4 MB socket buffers via this implementation's\n"
+      "knob. Step 2 (fully-tuned): eager/rendez-vous threshold raised\n"
+      "(Table 5), removing the dip above the default threshold.\n");
+  return 0;
+}

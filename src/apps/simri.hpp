@@ -1,0 +1,48 @@
+// Simri: 3D Magnetic Resonance Imaging simulator (paper Section 2.2.2,
+// Benoit-Cattin et al.).
+//
+// Master/slave with static work division: the master splits the virtual
+// object into vector sets, sends one set to each slave, the slaves compute
+// the magnetization evolution and return radio-frequency signals. The
+// paper reports that on an 8-node cluster the simulator reaches ~100%
+// efficiency (the master does not compute) and that synchronisation +
+// communication cost only ~1.5% of the runtime once the object is at
+// least 256x256.
+#pragma once
+
+#include "profiles/profiles.hpp"
+#include "simcore/time.hpp"
+#include "topology/grid5000.hpp"
+
+namespace gridsim::apps {
+
+struct SimriConfig {
+  /// Object edge: the object has object_n^2 vectors (the paper's "size of
+  /// the input object", e.g. 256*256).
+  int object_n = 256;
+  /// Bytes per vector sent to a slave (3D magnetization vector + params).
+  double bytes_per_vector = 48;
+  /// Bytes per vector returned (RF signal contribution).
+  double result_bytes_per_vector = 16;
+  /// Reference compute seconds per vector.
+  double vector_compute_seconds = 200e-6;
+};
+
+struct SimriResult {
+  SimTime total_time = 0;
+  SimTime comm_time = 0;  ///< distribute + collect (master-observed)
+  /// Fraction of the runtime spent communicating/synchronising.
+  double comm_fraction = 0;
+  /// Speed-up over a single slave doing everything.
+  double speedup = 0;
+  /// speedup / slave count: ~1.0 on a homogeneous cluster (paper).
+  double efficiency = 0;
+};
+
+/// Runs Simri on `nodes` nodes of the first site of `spec` (one master +
+/// nodes-1 slaves; the master does not compute).
+SimriResult run_simri(const topo::GridSpec& spec, int nodes,
+                      const profiles::ExperimentConfig& cfg,
+                      const SimriConfig& app = {});
+
+}  // namespace gridsim::apps

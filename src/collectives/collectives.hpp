@@ -1,0 +1,74 @@
+// Collective operations over the point-to-point engine.
+//
+// Every rank of a communicator must call the same collectives in the same
+// order (SPMD); tags are derived from a per-rank collective sequence number.
+//
+// The algorithm used for each operation comes from the implementation
+// profile's CollectiveSuite:
+//
+//  * WAN-oblivious defaults (MPICH2/OpenMPI-style): binomial trees for
+//    small messages, scatter + rank-ordered ring allgather for large
+//    broadcasts — the ring crosses the WAN once per step, which is the
+//    paper's explanation for poor FT performance on the grid.
+//  * GridMPI (topology-aware): hierarchical algorithms that cross the WAN
+//    once, using one simultaneous stream per node pair ("multiple
+//    node-to-node connections", Matsuda et al. Cluster'06).
+#pragma once
+
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "simcore/task.hpp"
+
+namespace gridsim::coll {
+
+/// Dissemination barrier: ceil(log2 p) rounds of 1-byte messages.
+Task<void> barrier(mpi::Rank& r);
+
+/// Broadcast `bytes` from `root` to all ranks.
+Task<void> bcast(mpi::Rank& r, int root, double bytes);
+
+/// Reduce `bytes` from all ranks onto `root` (binomial tree).
+Task<void> reduce(mpi::Rank& r, int root, double bytes);
+
+/// Allreduce `bytes` across all ranks.
+Task<void> allreduce(mpi::Rank& r, double bytes);
+
+/// Root gathers `bytes_per_rank` from everyone (binomial).
+Task<void> gather(mpi::Rank& r, int root, double bytes_per_rank);
+
+/// Root scatters `bytes_per_rank` to everyone (binomial).
+Task<void> scatter(mpi::Rank& r, int root, double bytes_per_rank);
+
+/// Everyone ends with everyone's block (ring).
+Task<void> allgather(mpi::Rank& r, double bytes_per_rank);
+
+/// Personalised exchange: every rank sends `bytes_per_pair` to every other.
+Task<void> alltoall(mpi::Rank& r, double bytes_per_pair);
+
+/// Vector variant: `send_bytes[d]` goes to rank d (size() entries).
+Task<void> alltoallv(mpi::Rank& r, const std::vector<double>& send_bytes);
+
+/// Root gathers `bytes[i]` from rank i (linear: the classic
+/// non-topology-aware implementation the paper notes for MPICH-G2).
+Task<void> gatherv(mpi::Rank& r, int root, const std::vector<double>& bytes);
+
+/// Root sends `bytes[i]` to rank i (linear).
+Task<void> scatterv(mpi::Rank& r, int root, const std::vector<double>& bytes);
+
+/// Reduce + scatter of the result: every rank ends with bytes/size() of
+/// the reduced vector (recursive halving on powers of two).
+Task<void> reduce_scatter(mpi::Rank& r, double bytes);
+
+namespace detail {
+// Exposed for unit tests and the ablation bench.
+Task<void> bcast_binomial(mpi::Rank& r, int root, double bytes, int tag);
+Task<void> bcast_scatter_ring(mpi::Rank& r, int root, double bytes, int tag);
+Task<void> bcast_hierarchical(mpi::Rank& r, int root, double bytes, int tag);
+Task<void> bcast_pipeline(mpi::Rank& r, int root, double bytes, int tag);
+Task<void> allreduce_recursive_doubling(mpi::Rank& r, double bytes, int tag);
+Task<void> allreduce_rabenseifner(mpi::Rank& r, double bytes, int tag);
+Task<void> allreduce_hierarchical(mpi::Rank& r, double bytes, int tag);
+}  // namespace detail
+
+}  // namespace gridsim::coll

@@ -1,0 +1,57 @@
+// Communication-trace record & replay.
+//
+// The paper's authors "ran each NAS with a modified MPI implementation to
+// find their communication pattern" (Section 3.1). This module does the
+// same: record every application payload of a run (sender, receiver,
+// size, tag, timestamp) and replay the trace on a different configuration
+// — a different implementation profile, tuning level, or topology —
+// preserving the original compute gaps between a rank's sends
+// (time-independent trace replay).
+//
+// Replay semantics: each rank re-issues its sends in recorded order,
+// sleeping the recorded inter-send interval first, while a companion
+// coroutine posts receives for every message addressed to the rank in the
+// senders' timestamp order. Payload matching relies on MPI non-overtaking
+// per (source, tag), which the engine guarantees.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "npb/npb.hpp"
+#include "profiles/profiles.hpp"
+#include "simcore/time.hpp"
+#include "topology/grid5000.hpp"
+
+namespace gridsim::harness {
+
+struct RecordedMessage {
+  SimTime at = 0;  ///< send timestamp in the recorded run
+  int src = 0;
+  int dst = 0;
+  double bytes = 0;
+  int tag = 0;
+};
+
+struct CommTrace {
+  int nranks = 0;
+  std::vector<RecordedMessage> messages;  ///< in send-timestamp order
+
+  /// Plain-text serialisation: one "at src dst bytes tag" line per message.
+  void save(std::ostream& out) const;
+  static CommTrace load(std::istream& in);
+};
+
+/// Runs one NPB kernel and records its communication trace.
+CommTrace record_npb(const topo::GridSpec& spec, int nranks, npb::Kernel k,
+                     npb::Class c, const profiles::ExperimentConfig& cfg);
+
+struct ReplayResult {
+  SimTime makespan = 0;
+};
+
+/// Replays a trace on `spec` with `cfg` (block placement).
+ReplayResult replay_trace(const CommTrace& trace, const topo::GridSpec& spec,
+                          const profiles::ExperimentConfig& cfg);
+
+}  // namespace gridsim::harness

@@ -1,0 +1,92 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gridsim::harness {
+
+namespace {
+
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<std::size_t>& widths) {
+  std::printf("  ");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%-*s", static_cast<int>(widths[i] + 2), cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+void print_table(const std::string& title,
+                 const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::printf("\n# %s\n", title.c_str());
+  std::vector<std::size_t> widths(headers.size(), 0);
+  for (std::size_t i = 0; i < headers.size(); ++i)
+    widths[i] = headers[i].size();
+  for (const auto& row : rows)
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  print_row(headers, widths);
+  std::vector<std::string> rule;
+  for (auto w : widths) rule.push_back(std::string(w, '-'));
+  print_row(rule, widths);
+  for (const auto& row : rows) print_row(row, widths);
+}
+
+void print_csv(const std::string& title,
+               const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::printf("\n# %s (csv)\n", title.c_str());
+  for (std::size_t i = 0; i < headers.size(); ++i)
+    std::printf("%s%s", i ? "," : "", headers[i].c_str());
+  std::printf("\n");
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      std::printf("%s%s", i ? "," : "", row[i].c_str());
+    std::printf("\n");
+  }
+}
+
+void print_ascii_chart(const std::string& title,
+                       const std::vector<std::string>& series_names,
+                       const std::vector<std::string>& x_labels,
+                       const std::vector<std::vector<double>>& values,
+                       double y_max, const std::string& unit) {
+  constexpr int kWidth = 46;
+  std::printf("\n# %s  (each bar: 0..%.0f %s)\n", title.c_str(), y_max,
+              unit.c_str());
+  for (std::size_t s = 0; s < series_names.size(); ++s) {
+    std::printf("  -- %s --\n", series_names[s].c_str());
+    for (std::size_t x = 0; x < x_labels.size(); ++x) {
+      const double v = values[s][x];
+      int bar = static_cast<int>(std::lround(v / y_max * kWidth));
+      bar = std::clamp(bar, 0, kWidth);
+      std::printf("  %8s |%-*s| %8.1f %s\n", x_labels[x].c_str(), kWidth,
+                  std::string(static_cast<size_t>(bar), '#').c_str(), v,
+                  unit.c_str());
+    }
+  }
+}
+
+std::string format_bytes(double bytes) {
+  char buf[32];
+  if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof buf, "%gM", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024.0) {
+    std::snprintf(buf, sizeof buf, "%gk", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%g", bytes);
+  }
+  return buf;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace gridsim::harness

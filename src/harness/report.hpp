@@ -1,0 +1,32 @@
+// Text output helpers for the experiment benches: aligned tables, CSV
+// series and coarse ASCII charts, so each bench binary's stdout reads like
+// the corresponding table/figure of the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gridsim::harness {
+
+/// Prints `# title` followed by an aligned table.
+void print_table(const std::string& title,
+                 const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Prints a CSV block (one header line + data lines) for plotting.
+void print_csv(const std::string& title,
+               const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Log-x ASCII line chart: one row per x value, one column block per
+/// series, bar length proportional to value / y_max.
+void print_ascii_chart(const std::string& title,
+                       const std::vector<std::string>& series_names,
+                       const std::vector<std::string>& x_labels,
+                       const std::vector<std::vector<double>>& values,
+                       double y_max, const std::string& unit);
+
+std::string format_bytes(double bytes);
+std::string format_double(double v, int precision = 2);
+
+}  // namespace gridsim::harness

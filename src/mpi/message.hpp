@@ -1,0 +1,42 @@
+// Wire-level message metadata exchanged between rank engines.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/time.hpp"
+
+namespace gridsim::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+/// Tags at or above this value are reserved for collective operations.
+inline constexpr int kCollectiveTagBase = 1 << 24;
+
+enum class MsgKind : std::uint8_t {
+  kEager,     ///< payload sent immediately
+  kRndvRts,   ///< rendez-vous request-to-send (control)
+  kRndvCts,   ///< rendez-vous clear-to-send (control)
+  kRndvData,  ///< rendez-vous payload
+};
+
+struct MsgMeta {
+  MsgKind kind = MsgKind::kEager;
+  int src_rank = -1;
+  int dst_rank = -1;
+  int tag = 0;
+  double bytes = 0;       ///< application payload size
+  std::uint64_t seq = 0;  ///< rendez-vous handshake id
+  /// Per-(src,dst) match order. Striped messages travel over several
+  /// connections and can physically overtake; the receiver restores MPI's
+  /// non-overtaking order from this sequence number before matching.
+  std::uint64_t order = 0;
+};
+
+/// What a completed receive reports back to the application.
+struct RecvInfo {
+  int source = -1;
+  int tag = 0;
+  double bytes = 0;
+};
+
+}  // namespace gridsim::mpi

@@ -1,0 +1,466 @@
+#include "mpi/mpi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace gridsim::mpi {
+
+// ---------------------------------------------------------------------------
+// Rank
+// ---------------------------------------------------------------------------
+
+int Rank::size() const { return job_->size(); }
+Simulation& Rank::sim() { return job_->sim(); }
+
+SimTime Rank::side_overhead(SimTime base, int peer) const {
+  SimTime t = base + job_->tcp_params().stack_overhead;
+  const bool lan = job_->pair_rtt(rank_, peer) < milliseconds(1);
+  if (lan) {
+    t += job_->profile().lan_extra_overhead;
+  } else {
+    t += job_->profile().wan_extra_overhead;
+  }
+  return t;
+}
+
+SimTime Rank::copy_time(double bytes) const {
+  const double rate = job_->profile().memcpy_bytes_per_sec *
+                      job_->grid().cpu_speed(host_);
+  return from_seconds(bytes / rate);
+}
+
+Task<void> Rank::send(int dst, double bytes, int tag) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("bad destination");
+  const ImplProfile& p = job_->profile();
+  job_->record_payload(rank_, dst, bytes, tag);
+  co_await sim().delay(side_overhead(p.send_overhead, dst));
+
+  // MPICH-G2-style striping: a large message crossing the WAN goes eagerly
+  // over several parallel connections (each with its own TCP window).
+  const bool stripe = p.wan_parallel_streams > 1 &&
+                      bytes > p.stripe_threshold &&
+                      job_->pair_rtt(rank_, dst) >= milliseconds(1);
+  if (stripe) {
+    MsgMeta m;
+    m.kind = MsgKind::kEager;
+    m.src_rank = rank_;
+    m.dst_rank = dst;
+    m.tag = tag;
+    m.bytes = bytes;
+    m.order = next_order_to(dst);
+    co_await job_->transmit_striped(rank_, dst, bytes + p.header_bytes, m,
+                                    p.wan_parallel_streams);
+    co_return;
+  }
+
+  if (bytes <= p.eager_threshold) {
+    MsgMeta m;
+    m.kind = MsgKind::kEager;
+    m.src_rank = rank_;
+    m.dst_rank = dst;
+    m.tag = tag;
+    m.bytes = bytes;
+    m.order = next_order_to(dst);
+    co_await job_->transmit_buffered(rank_, dst, bytes + p.header_bytes, m);
+    co_return;
+  }
+
+  // Rendez-vous: RTS, wait for CTS, then the payload.
+  const std::uint64_t seq = next_seq_++;
+  Trigger cts(sim());
+  cts_waiters_[seq] = &cts;
+  MsgMeta rts;
+  rts.kind = MsgKind::kRndvRts;
+  rts.src_rank = rank_;
+  rts.dst_rank = dst;
+  rts.tag = tag;
+  rts.bytes = bytes;
+  rts.seq = seq;
+  rts.order = next_order_to(dst);
+  job_->transmit(rank_, dst, p.control_bytes, rts);
+  co_await cts.wait();
+  cts_waiters_.erase(seq);
+
+  MsgMeta data = rts;
+  data.kind = MsgKind::kRndvData;
+  co_await job_->transmit_buffered(rank_, dst, bytes + p.header_bytes, data);
+}
+
+Task<RecvInfo> Rank::recv(int src, int tag) {
+  const ImplProfile& p = job_->profile();
+  MsgMeta meta;
+  bool unexpected = false;
+
+  // Try the arrived (unexpected) queue first, in arrival order.
+  auto it = std::find_if(arrived_.begin(), arrived_.end(),
+                         [&](const MsgMeta& m) { return matches(src, tag, m); });
+  if (it != arrived_.end()) {
+    meta = *it;
+    arrived_.erase(it);
+    unexpected = true;
+  } else {
+    Trigger done(sim());
+    posted_.push_back(Posted{src, tag, &done, &meta});
+    co_await done.wait();
+  }
+
+  if (meta.kind == MsgKind::kEager) {
+    SimTime cost = side_overhead(p.recv_overhead, meta.src_rank);
+    if (unexpected) cost += copy_time(meta.bytes);  // Fig 4, arrow 2
+    co_await sim().delay(cost);
+    co_return RecvInfo{meta.src_rank, meta.tag, meta.bytes};
+  }
+
+  // Rendez-vous RTS: answer with CTS and wait for the payload.
+  assert(meta.kind == MsgKind::kRndvRts);
+  Trigger data_done(sim());
+  MsgMeta data_meta;
+  data_waiters_[meta.seq] = DataWaiter{&data_done, &data_meta};
+  MsgMeta cts;
+  cts.kind = MsgKind::kRndvCts;
+  cts.src_rank = rank_;
+  cts.dst_rank = meta.src_rank;
+  cts.tag = meta.tag;
+  cts.seq = meta.seq;
+  job_->transmit(rank_, meta.src_rank, p.control_bytes, cts);
+  co_await data_done.wait();
+  data_waiters_.erase(meta.seq);
+  co_await sim().delay(side_overhead(p.recv_overhead, meta.src_rank));
+  co_return RecvInfo{data_meta.src_rank, data_meta.tag, data_meta.bytes};
+}
+
+void Rank::on_arrival(const MsgMeta& meta) {
+  switch (meta.kind) {
+    case MsgKind::kEager:
+    case MsgKind::kRndvRts: {
+      // Restore per-peer send order before matching: striped messages use
+      // several TCP connections and can physically overtake.
+      const auto src = static_cast<size_t>(meta.src_rank);
+      if (order_in_.size() <= src) {
+        order_in_.resize(src + 1, 0);
+        reorder_.resize(src + 1);
+      }
+      if (meta.order != order_in_[src]) {
+        reorder_[src].emplace(meta.order, meta);
+        break;
+      }
+      deliver_in_order(meta);
+      ++order_in_[src];
+      auto& stash = reorder_[src];
+      for (auto it = stash.find(order_in_[src]); it != stash.end();
+           it = stash.find(order_in_[src])) {
+        deliver_in_order(it->second);
+        stash.erase(it);
+        ++order_in_[src];
+      }
+      break;
+    }
+    case MsgKind::kRndvCts: {
+      auto it = cts_waiters_.find(meta.seq);
+      assert(it != cts_waiters_.end());
+      it->second->fire();
+      break;
+    }
+    case MsgKind::kRndvData: {
+      auto it = data_waiters_.find(meta.seq);
+      assert(it != data_waiters_.end());
+      *it->second.slot = meta;
+      it->second.done->fire();
+      break;
+    }
+  }
+}
+
+void Rank::deliver_in_order(const MsgMeta& meta) {
+  auto it = std::find_if(
+      posted_.begin(), posted_.end(),
+      [&](const Posted& pr) { return matches(pr.src, pr.tag, meta); });
+  if (it != posted_.end()) {
+    *it->slot = meta;
+    Trigger* done = it->done;
+    posted_.erase(it);
+    done->fire();
+    return;
+  }
+  arrived_.push_back(meta);
+  // The message is now visible in the unexpected queue: wake matching
+  // probers (without consuming it).
+  for (auto pb = probers_.begin(); pb != probers_.end();) {
+    if (matches(pb->src, pb->tag, meta)) {
+      *pb->slot = meta;
+      Trigger* done = pb->done;
+      pb = probers_.erase(pb);
+      done->fire();
+    } else {
+      ++pb;
+    }
+  }
+}
+
+Task<RecvInfo> Rank::probe(int src, int tag) {
+  RecvInfo info;
+  if (iprobe(src, tag, &info)) co_return info;
+  Trigger done(sim());
+  MsgMeta meta;
+  probers_.push_back(Prober{src, tag, &done, &meta});
+  co_await done.wait();
+  co_return RecvInfo{meta.src_rank, meta.tag, meta.bytes};
+}
+
+bool Rank::iprobe(int src, int tag, RecvInfo* out) const {
+  const auto it =
+      std::find_if(arrived_.begin(), arrived_.end(),
+                   [&](const MsgMeta& m) { return matches(src, tag, m); });
+  if (it == arrived_.end()) return false;
+  if (out) *out = RecvInfo{it->src_rank, it->tag, it->bytes};
+  return true;
+}
+
+namespace {
+
+Task<void> isend_body(Rank* self, int dst, double bytes, int tag,
+                      std::shared_ptr<Trigger> done) {
+  co_await self->send(dst, bytes, tag);
+  done->fire();
+}
+
+Task<void> irecv_body(Rank* self, int src, int tag,
+                      std::shared_ptr<Trigger> done,
+                      std::shared_ptr<RecvInfo> info) {
+  *info = co_await self->recv(src, tag);
+  done->fire();
+}
+
+}  // namespace
+
+Request Rank::isend(int dst, double bytes, int tag) {
+  Request r;
+  r.done_ = std::make_shared<Trigger>(sim());
+  sim().spawn(isend_body(this, dst, bytes, tag, r.done_));
+  return r;
+}
+
+Request Rank::irecv(int src, int tag) {
+  Request r;
+  r.done_ = std::make_shared<Trigger>(sim());
+  r.info_ = std::make_shared<RecvInfo>();
+  sim().spawn(irecv_body(this, src, tag, r.done_, r.info_));
+  return r;
+}
+
+Task<RecvInfo> Rank::wait(Request req) {
+  if (!req.valid()) throw std::invalid_argument("wait on empty Request");
+  co_await req.done_->wait();
+  co_return req.info_ ? *req.info_ : RecvInfo{};
+}
+
+Task<void> Rank::wait_all(std::vector<Request> reqs) {
+  for (auto& r : reqs) (void)co_await wait(r);
+}
+
+Task<RecvInfo> Rank::sendrecv(int dst, double send_bytes, int send_tag,
+                              int src, int recv_tag) {
+  Request s = isend(dst, send_bytes, send_tag);
+  const RecvInfo info = co_await recv(src, recv_tag);
+  (void)co_await wait(s);
+  co_return info;
+}
+
+namespace {
+
+Task<void> wait_any_watcher(Rank* self, Request req,
+                            std::shared_ptr<OneShot<int>> first, int index) {
+  (void)co_await self->wait(req);
+  if (!first->ready()) first->set(index);
+}
+
+}  // namespace
+
+Task<int> Rank::wait_any(std::vector<Request> reqs) {
+  if (reqs.empty()) throw std::invalid_argument("wait_any on empty set");
+  // Fast path: something already finished.
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    if (reqs[i].complete()) co_return static_cast<int>(i);
+  auto first = std::make_shared<OneShot<int>>(sim());
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    sim().spawn(
+        wait_any_watcher(this, reqs[i], first, static_cast<int>(i)));
+  co_return co_await first->wait();
+}
+
+Task<void> Rank::compute(double ref_seconds) {
+  if (ref_seconds <= 0) co_return;
+  co_await sim().delay(
+      from_seconds(ref_seconds / job_->grid().cpu_speed(host_)));
+}
+
+// ---------------------------------------------------------------------------
+// Job
+// ---------------------------------------------------------------------------
+
+Job::Job(topo::Grid& grid, std::vector<net::HostId> placement,
+         ImplProfile profile, tcp::KernelTunables kernel,
+         tcp::TcpModelParams tcp_params)
+    : grid_(&grid),
+      profile_(std::move(profile)),
+      kernel_(kernel),
+      tcp_params_(tcp_params) {
+  if (placement.empty()) throw std::invalid_argument("empty placement");
+  int r = 0;
+  for (net::HostId h : placement) {
+    ranks_.push_back(std::unique_ptr<Rank>(new Rank(*this, r++, h)));
+  }
+}
+
+Task<void> Job::run_rank(std::function<Task<void>(Rank&)> main, Rank* rank) {
+  co_await main(*rank);
+}
+
+void Job::launch(std::function<Task<void>(Rank&)> rank_main) {
+  for (auto& r : ranks_) sim().spawn(run_rank(rank_main, r.get()));
+}
+
+tcp::TcpChannel& Job::channel(int from, int to, int stream) {
+  // Streams beyond 0 share the (from, to) direction but get independent
+  // TCP state; encode the stream in the key's upper bits.
+  const auto key = std::make_pair(from + (stream << 20), to);
+  auto it = channels_.find(key);
+  if (it != channels_.end()) return *it->second;
+
+  tcp::SocketOptions opts;
+  switch (profile_.buffers) {
+    case BufferStrategy::kAutoTune:
+      break;
+    case BufferStrategy::kLockToInitial:
+      opts.lock_buffers_to_initial = true;
+      break;
+    case BufferStrategy::kSetsockopt:
+      opts.sndbuf = opts.rcvbuf = profile_.setsockopt_bytes;
+      break;
+  }
+  opts.pacing = profile_.pacing;
+  auto ch = std::make_unique<tcp::TcpChannel>(
+      grid_->network(), rank(from).host(), rank(to).host(), kernel_, kernel_,
+      opts, tcp_params_);
+  auto* ptr = ch.get();
+  channels_.emplace(key, std::move(ch));
+  return *ptr;
+}
+
+void Job::transmit(int from, int to, double wire_bytes, MsgMeta meta) {
+  if (meta.kind == MsgKind::kRndvCts ||
+      (meta.kind == MsgKind::kRndvRts)) {
+    ++traffic_.control_messages;
+  }
+  Rank* dst = ranks_.at(static_cast<size_t>(to)).get();
+  channel(from, to).send(wire_bytes, nullptr,
+                         [dst, meta] { dst->on_arrival(meta); });
+}
+
+Task<void> Job::transmit_buffered(int from, int to, double wire_bytes,
+                                  MsgMeta meta) {
+  Rank* dst = ranks_.at(static_cast<size_t>(to)).get();
+  Trigger buffered(sim());
+  channel(from, to).send(wire_bytes, [&buffered] { buffered.fire(); },
+                         [dst, meta] { dst->on_arrival(meta); });
+  co_await buffered.wait();
+}
+
+namespace {
+
+/// Shared completion state for a striped transfer.
+struct StripeState {
+  explicit StripeState(Simulation& sim) : buffered(sim) {}
+  Trigger buffered;
+  int buffered_left = 0;
+  int delivered_left = 0;
+};
+
+}  // namespace
+
+Task<void> Job::transmit_striped(int from, int to, double wire_bytes,
+                                 MsgMeta meta, int streams) {
+  assert(streams >= 1);
+  Rank* dst = ranks_.at(static_cast<size_t>(to)).get();
+  auto state = std::make_shared<StripeState>(sim());
+  state->buffered_left = streams;
+  state->delivered_left = streams;
+  const double chunk = wire_bytes / streams;
+  for (int s = 0; s < streams; ++s) {
+    channel(from, to, s).send(
+        chunk,
+        [state] {
+          if (--state->buffered_left == 0) state->buffered.fire();
+        },
+        [state, dst, meta] {
+          if (--state->delivered_left == 0) dst->on_arrival(meta);
+        });
+  }
+  co_await state->buffered.wait();
+}
+
+SimTime Job::pair_rtt(int r1, int r2) const {
+  return grid_->rtt(ranks_.at(static_cast<size_t>(r1))->host(),
+                    ranks_.at(static_cast<size_t>(r2))->host());
+}
+
+void Job::record_payload(int src, int dst, double bytes, int tag) {
+  if (recorder_) recorder_(sim().now(), src, dst, bytes, tag);
+  if (sim().tracer().enabled(TraceKind::kMessage)) {
+    sim().tracer().record(sim().now(), TraceKind::kMessage,
+                          tag >= kCollectiveTagBase ? "collective" : "p2p",
+                          bytes);
+  }
+  traffic_.pair_bytes[{src, dst}] += bytes;
+  const auto size_key = static_cast<long long>(std::llround(bytes));
+  if (tag >= kCollectiveTagBase) {
+    ++traffic_.collective_messages;
+    traffic_.collective_bytes += bytes;
+    ++traffic_.collective_sizes[size_key];
+  } else {
+    ++traffic_.p2p_messages;
+    traffic_.p2p_bytes += bytes;
+    ++traffic_.p2p_sizes[size_key];
+  }
+}
+
+std::vector<net::HostId> cyclic_placement(const topo::Grid& grid,
+                                          int nranks) {
+  std::vector<net::HostId> out;
+  out.reserve(static_cast<size_t>(nranks));
+  std::vector<int> next_node(static_cast<size_t>(grid.site_count()), 0);
+  int site = 0;
+  for (int r = 0; r < nranks; ++r) {
+    // Find the next site (starting from `site`) with a free node.
+    int tried = 0;
+    while (tried < grid.site_count() &&
+           next_node[static_cast<size_t>(site)] >= grid.nodes_at(site)) {
+      site = (site + 1) % grid.site_count();
+      ++tried;
+    }
+    if (tried == grid.site_count())
+      throw std::invalid_argument("not enough nodes for requested ranks");
+    out.push_back(grid.node(site, next_node[static_cast<size_t>(site)]++));
+    site = (site + 1) % grid.site_count();
+  }
+  return out;
+}
+
+std::vector<net::HostId> block_placement(const topo::Grid& grid, int nranks) {
+  std::vector<net::HostId> out;
+  out.reserve(static_cast<size_t>(nranks));
+  int remaining = nranks;
+  for (int s = 0; s < grid.site_count() && remaining > 0; ++s) {
+    for (int n = 0; n < grid.nodes_at(s) && remaining > 0; ++n) {
+      out.push_back(grid.node(s, n));
+      --remaining;
+    }
+  }
+  if (remaining > 0)
+    throw std::invalid_argument("not enough nodes for requested ranks");
+  return out;
+}
+
+}  // namespace gridsim::mpi

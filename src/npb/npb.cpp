@@ -1,0 +1,478 @@
+#include "npb/npb.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "collectives/collectives.hpp"
+
+namespace gridsim::npb {
+
+namespace {
+
+using mpi::Rank;
+
+// ---------------------------------------------------------------------------
+// Class parameter tables (NPB 2.4).
+// ---------------------------------------------------------------------------
+
+struct ClassRow {
+  double ops_s, ops_w, ops_a, ops_b, ops_c;  ///< total operations per class
+  int it_s, it_w, it_a, it_b, it_c;          ///< outer iterations per class
+};
+
+// Operation counts from the NPB reports (Mops x 1e6), iterations from the
+// official problem definitions.
+const ClassRow kRows[] = {
+    /* EP */ {0.42e9, 3.4e9, 26.8e9, 107.2e9, 428.8e9, 1, 1, 1, 1, 1},
+    /* CG */ {0.07e9, 0.40e9, 1.50e9, 54.9e9, 143.3e9, 15, 15, 15, 75, 75},
+    /* MG */ {0.01e9, 0.50e9, 3.90e9, 18.7e9, 155.7e9, 4, 4, 4, 20, 20},
+    /* LU */ {0.10e9, 9.0e9, 64.6e9, 403.5e9, 1604.8e9, 50, 300, 250, 250,
+              250},
+    /* SP */ {0.10e9, 12.0e9, 85.0e9, 447.1e9, 1785.0e9, 100, 400, 400, 400,
+              400},
+    /* BT */ {0.17e9, 25.0e9, 168.3e9, 721.5e9, 2879.2e9, 60, 200, 200, 200,
+              200},
+    /* IS */ {0.002e9, 0.10e9, 0.78e9, 3.30e9, 13.4e9, 10, 10, 10, 10, 10},
+    /* FT */ {0.18e9, 2.0e9, 7.10e9, 92.8e9, 398.0e9, 6, 6, 6, 20, 20},
+};
+
+const ClassRow& row(Kernel k) { return kRows[static_cast<int>(k)]; }
+
+double class_pick(const ClassRow& r, Class c, bool ops) {
+  switch (c) {
+    case Class::kS:
+      return ops ? r.ops_s : r.it_s;
+    case Class::kW:
+      return ops ? r.ops_w : r.it_w;
+    case Class::kA:
+      return ops ? r.ops_a : r.it_a;
+    case Class::kB:
+      return ops ? r.ops_b : r.it_b;
+    case Class::kC:
+      return ops ? r.ops_c : r.it_c;
+  }
+  return 0;
+}
+
+/// Problem edge length per class for the grid-structured kernels.
+int grid_n(Kernel k, Class c) {
+  switch (k) {
+    case Kernel::kMG:
+      switch (c) {
+        case Class::kS: return 32;
+        case Class::kW: return 128;
+        case Class::kA:
+        case Class::kB: return 256;  // A and B both use 256^3
+        case Class::kC: return 512;
+      }
+      return 0;
+    case Kernel::kLU:
+    case Kernel::kSP:
+    case Kernel::kBT:
+      switch (c) {
+        case Class::kS: return 12;
+        case Class::kW: return 33;
+        case Class::kA: return 64;
+        case Class::kB: return 102;
+        case Class::kC: return 162;
+      }
+      return 0;
+    case Kernel::kFT:
+      switch (c) {
+        case Class::kS: return 64;
+        case Class::kW: return 128;
+        case Class::kA: return 256;
+        case Class::kB:
+        case Class::kC: return 512;
+      }
+      return 0;
+    default:
+      return 0;
+  }
+}
+
+/// CG matrix order per class.
+int cg_na(Class c) {
+  switch (c) {
+    case Class::kS: return 1400;
+    case Class::kW: return 7000;
+    case Class::kA: return 14000;
+    case Class::kB: return 75000;
+    case Class::kC: return 150000;
+  }
+  return 0;
+}
+
+/// IS key volume in bytes per class (keys x 4 B).
+double is_total_bytes(Class c) {
+  double keys = 0;
+  switch (c) {
+    case Class::kS: keys = 1 << 16; break;
+    case Class::kW: keys = 1 << 20; break;
+    case Class::kA: keys = 1 << 23; break;
+    case Class::kB: keys = 1 << 25; break;
+    case Class::kC: keys = 1 << 27; break;
+  }
+  return keys * 4.0;
+}
+
+int isqrt(int p) {
+  const int q = static_cast<int>(std::lround(std::sqrt(double(p))));
+  if (q * q != p)
+    throw std::invalid_argument(
+        "this NPB kernel needs a perfect-square process count");
+  return q;
+}
+
+/// Per-iteration compute on this rank, in reference seconds.
+double iter_compute(Kernel k, Class c, int p) {
+  return total_ops(k, c) / iterations(k, c) / p / kFlopsPerSecond;
+}
+
+// ---------------------------------------------------------------------------
+// EP: compute, then a handful of tiny reductions (Table 2: 8 B and 80 B).
+// ---------------------------------------------------------------------------
+
+Task<void> run_ep(Rank& r, Class c) {
+  co_await r.compute(total_ops(Kernel::kEP, c) / r.size() / kFlopsPerSecond);
+  // Gaussian-pair counts (q array) and sums: 80 B + a few scalars.
+  co_await coll::allreduce(r, 80);
+  co_await coll::allreduce(r, 8);
+  co_await coll::allreduce(r, 8);
+  co_await coll::allreduce(r, 8);
+}
+
+// ---------------------------------------------------------------------------
+// CG: 2D process grid (rows x cols). Each of the ~25 inner iterations does a
+// matvec (log2(cols) row-sum exchanges of the local vector segment + one
+// transpose exchange) and two dot products (log2(cols) 8-byte exchanges).
+// ---------------------------------------------------------------------------
+
+Task<void> sendrecv(Rank& r, int peer, double bytes, int tag) {
+  mpi::Request req = r.isend(peer, bytes, tag);
+  (void)co_await r.recv(peer, tag);
+  (void)co_await r.wait(req);
+}
+
+Task<void> run_cg(Rank& r, Class c) {
+  const int p = r.size();
+  const int cols = isqrt(p);
+  const int me = r.rank();
+  const int my_row = me / cols;
+  const int my_col = me % cols;
+  const double seg_bytes = cg_na(c) / double(cols) * 8.0;  // ~147 kB at B/16
+  // The transpose partner swaps row and column.
+  const int transpose = my_col * cols + my_row;
+  const int niter = iterations(Kernel::kCG, c);
+  constexpr int kInner = 25;
+  const double step_compute =
+      iter_compute(Kernel::kCG, c, p) / (kInner + 1);
+
+  for (int it = 0; it < niter; ++it) {
+    for (int inner = 0; inner <= kInner; ++inner) {
+      co_await r.compute(step_compute);
+      // Matvec row sums: butterfly over the row.
+      for (int d = 1; d < cols; d <<= 1) {
+        const int peer = my_row * cols + (my_col ^ d);
+        co_await sendrecv(r, peer, seg_bytes, 1);
+      }
+      // Transpose exchange.
+      if (transpose != me) co_await sendrecv(r, transpose, seg_bytes, 2);
+      // Two dot products: 8-byte butterflies over the row.
+      for (int dot = 0; dot < 2; ++dot) {
+        for (int d = 1; d < cols; d <<= 1) {
+          const int peer = my_row * cols + (my_col ^ d);
+          co_await sendrecv(r, peer, 8, 3);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MG: 3D decomposition, V-cycles over ~log2(n) levels; halo exchanges in
+// the three dimensions at each level, several passes per level.
+// ---------------------------------------------------------------------------
+
+struct Decomp3D {
+  int px, py, pz;
+};
+
+Decomp3D decomp3d(int p) {
+  // Split factors of two across dimensions, x first (matches NPB's
+  // power-of-two layouts: 16 -> 4x2x2, 4 -> 2x2x1).
+  Decomp3D d{1, 1, 1};
+  int rem = p;
+  int axis = 0;
+  while (rem > 1) {
+    if (rem % 2 != 0)
+      throw std::invalid_argument("MG needs a power-of-two process count");
+    (axis == 0 ? d.px : axis == 1 ? d.py : d.pz) *= 2;
+    axis = (axis + 1) % 3;
+    rem /= 2;
+  }
+  return d;
+}
+
+Task<void> run_mg(Rank& r, Class c) {
+  const int p = r.size();
+  const Decomp3D d = decomp3d(p);
+  const int me = r.rank();
+  const int ix = me % d.px;
+  const int iy = (me / d.px) % d.py;
+  const int iz = me / (d.px * d.py);
+  const int n = grid_n(Kernel::kMG, c);
+  const int niter = iterations(Kernel::kMG, c);
+  int levels = 0;
+  for (int sz = n; sz >= 4; sz /= 2) ++levels;
+  const double level_compute =
+      iter_compute(Kernel::kMG, c, p) / levels / 3.0;
+
+  for (int it = 0; it < niter; ++it) {
+    for (int pass = 0; pass < 3; ++pass) {  // restrict, smooth, prolongate
+      for (int sz = n; sz >= 4; sz /= 2) {
+        co_await r.compute(level_compute);
+        // Halo exchange: two faces per dimension. Face area = product of
+        // the local extents of the two orthogonal dimensions.
+        const double lx = double(sz) / d.px;
+        const double ly = double(sz) / d.py;
+        const double lz = double(sz) / d.pz;
+        const double areas[3] = {ly * lz, lx * lz, lx * ly};
+        const int coords[3] = {ix, iy, iz};
+        const int parts[3] = {d.px, d.py, d.pz};
+        for (int dim = 0; dim < 3; ++dim) {
+          if (parts[dim] == 1) continue;
+          const double bytes = std::max(4.0, areas[dim] * 8.0);
+          // Neighbour ranks along this dimension (periodic).
+          int up_c[3] = {ix, iy, iz};
+          int dn_c[3] = {ix, iy, iz};
+          up_c[dim] = (coords[dim] + 1) % parts[dim];
+          dn_c[dim] = (coords[dim] - 1 + parts[dim]) % parts[dim];
+          const int up = up_c[0] + d.px * (up_c[1] + d.py * up_c[2]);
+          const int dn = dn_c[0] + d.px * (dn_c[1] + d.py * dn_c[2]);
+          mpi::Request s1 = r.isend(up, bytes, 10 + dim);
+          mpi::Request s2 = r.isend(dn, bytes, 20 + dim);
+          (void)co_await r.recv(dn, 10 + dim);
+          (void)co_await r.recv(up, 20 + dim);
+          co_await r.wait(s1);
+          co_await r.wait(s2);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LU: SSOR wavefront on a 2D grid. For every k plane the rank waits for its
+// north and west neighbours, computes, and feeds south and east — the
+// pipelined dependency chain makes LU the most latency-exposed kernel.
+// ---------------------------------------------------------------------------
+
+Task<void> run_lu(Rank& r, Class c) {
+  const int p = r.size();
+  const int q = isqrt(p);
+  const int me = r.rank();
+  const int my_row = me / q;
+  const int my_col = me % q;
+  const int north = my_row > 0 ? me - q : -1;
+  const int south = my_row < q - 1 ? me + q : -1;
+  const int west = my_col > 0 ? me - 1 : -1;
+  const int east = my_col < q - 1 ? me + 1 : -1;
+  const int n = grid_n(Kernel::kLU, c);
+  const int niter = iterations(Kernel::kLU, c);
+  // 5 doubles per boundary cell of the plane edge: 1020 B at class B on 16
+  // ranks (Table 2: 960 B..1040 B).
+  const double msg = double(n) / q * 5 * 8;
+  const double plane_compute = iter_compute(Kernel::kLU, c, p) / (2.0 * n);
+
+  for (int it = 0; it < niter; ++it) {
+    // Lower-triangular sweep: NW -> SE.
+    for (int k = 0; k < n; ++k) {
+      if (north >= 0) (void)co_await r.recv(north, 40);
+      if (west >= 0) (void)co_await r.recv(west, 41);
+      co_await r.compute(plane_compute);
+      if (south >= 0) co_await r.send(south, msg, 40);
+      if (east >= 0) co_await r.send(east, msg, 41);
+    }
+    // Upper-triangular sweep: SE -> NW.
+    for (int k = 0; k < n; ++k) {
+      if (south >= 0) (void)co_await r.recv(south, 42);
+      if (east >= 0) (void)co_await r.recv(east, 43);
+      co_await r.compute(plane_compute);
+      if (north >= 0) co_await r.send(north, msg, 42);
+      if (west >= 0) co_await r.send(west, msg, 43);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SP and BT: ADI with multi-partition: per iteration, a copy-faces halo
+// phase then x/y/z line solves, each sweeping q-1 stages across the square
+// process grid.
+// ---------------------------------------------------------------------------
+
+Task<void> run_adi(Rank& r, Class c, Kernel k) {
+  const int p = r.size();
+  const int q = isqrt(p);
+  const int me = r.rank();
+  const int my_row = me / q;
+  const int my_col = me % q;
+  const int n = grid_n(k, c);
+  const int niter = iterations(k, c);
+  const double cells_per_rank = double(n) * n * n / p;
+  // Face payloads calibrated against Table 2 at class B on 16 ranks:
+  // BT: 26 kB copy-faces + ~151 kB solver lines; SP: 50 kB + ~130 kB.
+  const double copy_bytes =
+      cells_per_rank / n * (k == Kernel::kBT ? 5.0 : 9.6) * 8.0;
+  const double solve_bytes =
+      cells_per_rank / n * (k == Kernel::kBT ? 29.0 : 25.0) * 8.0;
+  const double stage_compute =
+      iter_compute(k, c, p) / (3.0 * q + 1.0);
+
+  const int row_next = my_row * q + (my_col + 1) % q;
+  const int row_prev = my_row * q + (my_col - 1 + q) % q;
+  const int col_next = ((my_row + 1) % q) * q + my_col;
+  const int col_prev = ((my_row - 1 + q) % q) * q + my_col;
+
+  for (int it = 0; it < niter; ++it) {
+    // copy_faces: exchange with the four mesh neighbours.
+    co_await r.compute(stage_compute);
+    {
+      mpi::Request s1 = r.isend(row_next, copy_bytes, 50);
+      mpi::Request s2 = r.isend(col_next, copy_bytes, 51);
+      (void)co_await r.recv(row_prev, 50);
+      (void)co_await r.recv(col_prev, 51);
+      co_await r.wait(s1);
+      co_await r.wait(s2);
+    }
+    // Three ADI sweeps; x and z sweep along rows, y along columns.
+    for (int dim = 0; dim < 3; ++dim) {
+      const int next = dim == 1 ? col_next : row_next;
+      const int prev = dim == 1 ? col_prev : row_prev;
+      for (int stage = 0; stage < q - 1; ++stage) {
+        co_await r.compute(stage_compute);
+        // Non-blocking send: with a blocking one the stage ring deadlocks
+        // under the rendez-vous protocol (every rank waits for a CTS that
+        // only arrives once its peer posts a receive).
+        mpi::Request req = r.isend(next, solve_bytes, 60 + dim);
+        (void)co_await r.recv(prev, 60 + dim);
+        (void)co_await r.wait(req);
+      }
+      co_await r.compute(stage_compute);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IS: per iteration an 8-byte + 1 kB allreduce of bucket boundaries, a small
+// alltoall of bucket counts, then the full key exchange (alltoallv).
+// ---------------------------------------------------------------------------
+
+Task<void> run_is(Rank& r, Class c) {
+  const int p = r.size();
+  const int niter = iterations(Kernel::kIS, c) + 1;  // +1 warmup round
+  const double keys_bytes = is_total_bytes(c);
+  const double per_pair = keys_bytes / p / p;
+  std::vector<double> lens(static_cast<size_t>(p), per_pair);
+  lens[static_cast<size_t>(r.rank())] = 0;
+  const double compute = iter_compute(Kernel::kIS, c, p);
+  for (int it = 0; it < niter; ++it) {
+    co_await r.compute(compute);
+    co_await coll::allreduce(r, 1024);        // bucket size distribution
+    co_await coll::alltoall(r, p * 4.0);      // send counts
+    co_await coll::alltoallv(r, lens);        // the keys
+  }
+  co_await coll::allreduce(r, 8);  // full verification
+}
+
+// ---------------------------------------------------------------------------
+// FT: per the paper's Table 2, FT is broadcast-dominated: a tiny control
+// broadcast plus several large data broadcasts per iteration.
+// ---------------------------------------------------------------------------
+
+Task<void> run_ft(Rank& r, Class c) {
+  const int p = r.size();
+  const int n = grid_n(Kernel::kFT, c);
+  const int niter = iterations(Kernel::kFT, c);
+  // Plane slice: ~131 kB at class A / 16 ranks (Table 2: 352 x 128 kB).
+  const int nz = (c == Class::kB || c == Class::kC) ? 256 : n / 2;
+  const double slab = double(n) * n * nz / (double(p) * 32.0) * 8.0 / n;
+  const double bcast_bytes =
+      slab * n / ((c == Class::kB || c == Class::kC) ? 4.0 : 1.0);
+  const double compute = iter_compute(Kernel::kFT, c, p);
+  for (int it = 0; it < niter; ++it) {
+    co_await coll::bcast(r, it % p, 1);  // sync/control
+    co_await r.compute(compute);
+    for (int b = 0; b < 3; ++b)
+      co_await coll::bcast(r, (it + b) % p, bcast_bytes);
+    co_await coll::allreduce(r, 16);  // checksum
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+std::string name(Kernel k) {
+  switch (k) {
+    case Kernel::kEP: return "EP";
+    case Kernel::kCG: return "CG";
+    case Kernel::kMG: return "MG";
+    case Kernel::kLU: return "LU";
+    case Kernel::kSP: return "SP";
+    case Kernel::kBT: return "BT";
+    case Kernel::kIS: return "IS";
+    case Kernel::kFT: return "FT";
+  }
+  return "?";
+}
+
+std::vector<Kernel> all_kernels() {
+  return {Kernel::kEP, Kernel::kCG, Kernel::kMG, Kernel::kLU,
+          Kernel::kSP, Kernel::kBT, Kernel::kIS, Kernel::kFT};
+}
+
+double total_ops(Kernel k, Class c) { return class_pick(row(k), c, true); }
+
+int iterations(Kernel k, Class c) {
+  return static_cast<int>(class_pick(row(k), c, false));
+}
+
+void validate_ranks(Kernel k, int nranks) {
+  if (nranks <= 0) throw std::invalid_argument("nranks must be positive");
+  const bool pow2 = (nranks & (nranks - 1)) == 0;
+  switch (k) {
+    case Kernel::kEP:
+    case Kernel::kIS:
+    case Kernel::kFT:
+    case Kernel::kMG:
+      if (!pow2)
+        throw std::invalid_argument(name(k) +
+                                    " needs a power-of-two process count");
+      break;
+    case Kernel::kCG:
+    case Kernel::kLU:
+    case Kernel::kSP:
+    case Kernel::kBT:
+      (void)isqrt(nranks);  // throws if not a perfect square
+      break;
+  }
+}
+
+Task<void> run_kernel(mpi::Rank& r, Kernel k, Class c) {
+  switch (k) {
+    case Kernel::kEP: co_await run_ep(r, c); break;
+    case Kernel::kCG: co_await run_cg(r, c); break;
+    case Kernel::kMG: co_await run_mg(r, c); break;
+    case Kernel::kLU: co_await run_lu(r, c); break;
+    case Kernel::kSP: co_await run_adi(r, c, Kernel::kSP); break;
+    case Kernel::kBT: co_await run_adi(r, c, Kernel::kBT); break;
+    case Kernel::kIS: co_await run_is(r, c); break;
+    case Kernel::kFT: co_await run_ft(r, c); break;
+  }
+}
+
+}  // namespace gridsim::npb

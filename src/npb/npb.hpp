@@ -1,0 +1,58 @@
+// NAS Parallel Benchmark communication skeletons (NPB 2.4).
+//
+// The paper uses the NPB purely as communication-pattern generators
+// (Section 3.1, Table 2): what matters for grid behaviour is each kernel's
+// message sizes, counts and dependency structure, not its arithmetic. Each
+// skeleton reproduces the real kernel's per-iteration communication
+// topology --
+//
+//   EP  embarrassingly parallel: compute + a few tiny allreduces
+//   CG  conjugate gradient: row-sum exchanges (~147 kB class B/16) and
+//       8-byte dot-product reductions on a 2D process grid
+//   MG  multigrid V-cycles: 3D halo exchanges from 4 B up to ~131 kB
+//   LU  SSOR wavefront: ~1 kB north/west -> south/east pipelined messages,
+//       by far the most messages of the suite
+//   SP  ADI multi-partition sweeps, 45..160 kB faces
+//   BT  ADI multi-partition sweeps, 26 kB copy-faces + ~150 kB solves
+//   IS  bucket sort: allreduce + alltoall + large alltoallv,
+//       the largest collective payloads of the suite
+//   FT  3D FFT: large broadcasts (as characterised by the paper's Table 2)
+//
+// -- with synthetic compute calibrated from the official per-class Mop
+// counts at ~500 Mflop/s per 2007 Opteron core.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "simcore/task.hpp"
+
+namespace gridsim::npb {
+
+enum class Kernel { kEP, kCG, kMG, kLU, kSP, kBT, kIS, kFT };
+enum class Class { kS, kW, kA, kB, kC };
+
+std::string name(Kernel k);
+std::vector<Kernel> all_kernels();
+
+/// Total operation count for the kernel at this class (for compute
+/// calibration; from the NPB reports).
+double total_ops(Kernel k, Class c);
+
+/// Outer iteration count at this class.
+int iterations(Kernel k, Class c);
+
+/// Reference node sustained rate used to convert ops to seconds.
+inline constexpr double kFlopsPerSecond = 5e8;
+
+/// Throws std::invalid_argument if `nranks` is not a valid process count
+/// for this kernel: EP/IS/FT accept any power of two; MG needs a power of
+/// two; CG, LU, SP and BT need a perfect square. Call before launching.
+void validate_ranks(Kernel k, int nranks);
+
+/// Runs the kernel on this rank. Every rank of the job must call this with
+/// the same arguments; the job size must satisfy validate_ranks().
+Task<void> run_kernel(mpi::Rank& r, Kernel k, Class c);
+
+}  // namespace gridsim::npb

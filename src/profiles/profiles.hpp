@@ -1,0 +1,63 @@
+// The four MPI implementations the paper compares (Table 1), encoded as
+// ImplProfiles, plus a zero-overhead "raw TCP" baseline, and the tuning
+// levels of Section 4.2 applied as configuration transforms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpi/profile.hpp"
+#include "simtcp/tcp.hpp"
+
+namespace gridsim::profiles {
+
+/// The paper's tuning stages.
+enum class TuningLevel {
+  kDefault,    ///< stock kernel, stock implementation parameters (Fig 3/5)
+  kTcpTuned,   ///< 4 MB socket buffers via the per-impl knob (Fig 6)
+  kFullyTuned, ///< + eager/rendez-vous thresholds raised (Fig 7, Table 5)
+};
+
+std::string to_string(TuningLevel level);
+
+/// A profile + kernel pair ready to build a Job with.
+struct ExperimentConfig {
+  mpi::ImplProfile profile;
+  tcp::KernelTunables kernel;
+};
+
+/// MPICH2 1.0.5: the reference implementation. No grid awareness; kernel
+/// auto-tuned buffers; 256 kB eager limit (MPIDI_CH3_EAGER_MAX_MSG_SIZE).
+mpi::ImplProfile mpich2();
+
+/// GridMPI 1.1: software pacing, buffers locked to the kernel initial size,
+/// no rendez-vous by default (_YAMPI_RSIZE), WAN-aware collectives.
+mpi::ImplProfile gridmpi();
+
+/// MPICH-Madeleine (svn 2006-12-06): thread-based progression costs extra
+/// CPU per message that hides under WAN latency; 128 kB eager limit
+/// (DEFAULT_SWITCH); MPICH-1-era binomial collectives.
+mpi::ImplProfile mpich_madeleine();
+
+/// OpenMPI 1.1.4: explicit 128 kB setsockopt buffers (btl_tcp_sndbuf/rcvbuf),
+/// 64 kB eager limit (btl_tcp_eager_limit, capped at 32 MB when tuned).
+mpi::ImplProfile openmpi();
+
+/// Raw TCP baseline: no MPI overheads, no rendez-vous, auto-tuned buffers.
+mpi::ImplProfile raw_tcp();
+
+/// MPICH-G2 (Karonis et al.): the paper's planned follow-up. Globus-layer
+/// per-message costs, topology-aware collectives (WAN < LAN ordering), and
+/// GridFTP-style parallel TCP streams for large WAN messages. Not part of
+/// all_implementations() — the paper evaluates four implementations; this
+/// profile backs the extension bench.
+mpi::ImplProfile mpich_g2();
+
+/// The four MPI implementations, in the paper's order.
+std::vector<mpi::ImplProfile> all_implementations();
+
+/// Applies a tuning level: selects the kernel tunables and adjusts the
+/// per-implementation knobs exactly as Section 4.2 describes.
+ExperimentConfig configure(mpi::ImplProfile base, TuningLevel level);
+
+}  // namespace gridsim::profiles

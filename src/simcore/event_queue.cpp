@@ -1,0 +1,28 @@
+#include "simcore/event_queue.hpp"
+
+#include <cassert>
+
+namespace gridsim {
+
+void EventQueue::schedule(SimTime t, std::function<void()> fn) {
+  assert(fn);
+  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::next_time() const {
+  return heap_.empty() ? kSimTimeNever : heap_.top().time;
+}
+
+SimTime EventQueue::run_next() {
+  assert(!heap_.empty());
+  // Move the callback out before popping; the const_cast is safe because the
+  // entry is removed before anything can observe the moved-from state.
+  auto& top = const_cast<Entry&>(heap_.top());
+  const SimTime t = top.time;
+  std::function<void()> fn = std::move(top.fn);
+  heap_.pop();
+  fn();
+  return t;
+}
+
+}  // namespace gridsim

@@ -1,0 +1,54 @@
+// Deterministic pending-event set.
+//
+// Events at equal timestamps fire in insertion order (FIFO), which makes the
+// whole simulation reproducible regardless of heap implementation details.
+//
+// There is deliberately no cancel(): components that need to invalidate a
+// scheduled event (e.g. a fluid-flow completion that a rate change made
+// stale) guard their callback with a generation counter instead. This keeps
+// the queue allocation-free per event and the common path fast.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace gridsim {
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`.
+  void schedule(SimTime t, std::function<void()> fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the next event; kSimTimeNever when empty.
+  SimTime next_time() const;
+
+  /// Pops and runs the next event; returns its timestamp.
+  /// Precondition: !empty().
+  SimTime run_next();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tiebreaker for equal timestamps
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace gridsim

@@ -1,0 +1,77 @@
+#include "simcore/simulation.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gridsim {
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "gridsim: unhandled exception in spawned process: %s\n",
+               what);
+  std::abort();
+}
+
+// Fire-and-forget driver coroutine. Its frame owns the user task; the frame
+// self-destroys at completion (final_suspend = suspend_never).
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() {
+      return Detached{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { die("exception escaped driver"); }
+  };
+  std::coroutine_handle<> handle;
+};
+
+Detached drive_impl(Task<void> user, int* live_counter) {
+  try {
+    co_await std::move(user);
+  } catch (const std::exception& e) {
+    die(e.what());
+  } catch (...) {
+    die("(non-std::exception)");
+  }
+  --*live_counter;
+}
+
+}  // namespace
+
+void Simulation::at(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw std::logic_error("Simulation::at: time in the past");
+  queue_.schedule(t, std::move(fn));
+}
+
+void Simulation::spawn(Task<void> task) {
+  if (!task.valid())
+    throw std::invalid_argument("Simulation::spawn: empty task");
+  ++live_processes_;
+  Detached d = drive_impl(std::move(task), &live_processes_);
+  post([h = d.handle] { h.resume(); });
+}
+
+SimTime Simulation::run() {
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++events_processed_;
+  }
+  return now_;
+}
+
+bool Simulation::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++events_processed_;
+  }
+  now_ = t;
+  return !queue_.empty();
+}
+
+}  // namespace gridsim

@@ -1,0 +1,82 @@
+// The discrete-event simulation engine.
+//
+// One `Simulation` instance owns virtual time, the pending-event set and the
+// root coroutine processes. All coroutine resumption funnels through the
+// event queue (FIFO at equal timestamps), so a run is a deterministic
+// function of its inputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/task.hpp"
+#include "simcore/time.hpp"
+#include "simcore/trace.hpp"
+
+namespace gridsim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules a callback at absolute virtual time `t` (must be >= now()).
+  void at(SimTime t, std::function<void()> fn);
+  /// Schedules a callback `dt` after now().
+  void after(SimTime dt, std::function<void()> fn) { at(now_ + dt, fn); }
+  /// Schedules a callback at the current time, after already-queued events
+  /// with the same timestamp.
+  void post(std::function<void()> fn) { at(now_, std::move(fn)); }
+
+  /// Starts a root process. The task begins executing when the event loop
+  /// reaches the current timestamp; it is destroyed when it completes.
+  void spawn(Task<void> task);
+
+  /// Runs until the event queue is empty. Returns the final virtual time.
+  SimTime run();
+
+  /// Runs events with timestamp <= t, then sets now() = t.
+  /// Returns true if the queue still has pending events.
+  bool run_until(SimTime t);
+
+  /// Number of processes spawned and not yet completed.
+  int live_processes() const { return live_processes_; }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Structured event trace (categories disabled by default).
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// Awaitable that suspends the current coroutine for `dt` of virtual time.
+  auto delay(SimTime dt) {
+    struct Awaiter {
+      Simulation& sim;
+      SimTime dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.after(dt, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+ private:
+  struct SpawnState;  // keeps the root task alive until it completes
+  static Task<void> drive(Simulation& sim, std::shared_ptr<SpawnState> state);
+
+  SimTime now_ = 0;
+  EventQueue queue_;
+  int live_processes_ = 0;
+  std::uint64_t events_processed_ = 0;
+  Tracer tracer_;
+};
+
+}  // namespace gridsim

@@ -1,0 +1,193 @@
+// Coroutine synchronisation primitives for simulated processes.
+//
+// All wake-ups are posted through the simulation's event queue so that the
+// order in which blocked processes resume is deterministic (FIFO per
+// primitive, FIFO across primitives fired at the same timestamp).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "simcore/simulation.hpp"
+
+namespace gridsim {
+
+/// One-shot broadcast event: any number of waiters, released when fire()d.
+/// Waiting on an already-fired trigger completes immediately.
+class Trigger {
+ public:
+  explicit Trigger(Simulation& sim) : sim_(sim) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  bool fired() const { return fired_; }
+
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    for (auto h : waiters_) sim_.post([h] { h.resume(); });
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Trigger& t;
+      bool await_ready() const noexcept { return t.fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        t.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulation& sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Single-producer, single-consumer one-shot value. The consumer may wait
+/// before or after the value is set.
+template <typename T>
+class OneShot {
+ public:
+  explicit OneShot(Simulation& sim) : sim_(sim) {}
+  OneShot(const OneShot&) = delete;
+  OneShot& operator=(const OneShot&) = delete;
+
+  bool ready() const { return value_.has_value(); }
+
+  void set(T value) {
+    assert(!value_.has_value() && "OneShot::set called twice");
+    value_ = std::move(value);
+    if (waiter_) {
+      auto h = std::exchange(waiter_, {});
+      sim_.post([h] { h.resume(); });
+    }
+  }
+
+  auto wait() {
+    struct Awaiter {
+      OneShot& o;
+      bool await_ready() const noexcept { return o.value_.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        assert(!o.waiter_ && "OneShot supports a single waiter");
+        o.waiter_ = h;
+      }
+      T await_resume() { return std::move(*o.value_); }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulation& sim_;
+  std::optional<T> value_;
+  std::coroutine_handle<> waiter_;
+};
+
+/// Unbounded FIFO channel. pop() suspends until an item is available;
+/// multiple poppers are served in arrival order.
+///
+/// Invariant: items_ and waiters_ are never both non-empty — a push with
+/// waiters present hands the item directly to the front waiter (reserving it
+/// so an intervening pop() cannot steal it before the waiter resumes).
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulation& sim) : sim_(sim) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  void push(T item) {
+    if (!waiters_.empty()) {
+      WaitNode w = waiters_.front();
+      waiters_.pop_front();
+      *w.slot = std::move(item);
+      sim_.post([h = w.handle] { h.resume(); });
+    } else {
+      items_.push_back(std::move(item));
+    }
+  }
+
+  auto pop() {
+    struct Awaiter {
+      Mailbox& m;
+      std::optional<T> slot{};
+      bool await_ready() const noexcept { return !m.items_.empty(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        m.waiters_.push_back(WaitNode{h, &slot});
+      }
+      T await_resume() {
+        if (slot.has_value()) return std::move(*slot);
+        assert(!m.items_.empty());
+        T v = std::move(m.items_.front());
+        m.items_.pop_front();
+        return v;
+      }
+    };
+    return Awaiter{*this, std::nullopt};
+  }
+
+ private:
+  struct WaitNode {
+    std::coroutine_handle<> handle;
+    std::optional<T>* slot;
+  };
+
+  Simulation& sim_;
+  std::deque<T> items_;
+  std::deque<WaitNode> waiters_;
+};
+
+/// Counting semaphore with FIFO wake-up.
+class Semaphore {
+ public:
+  Semaphore(Simulation& sim, int initial) : sim_(sim), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  int count() const { return count_; }
+
+  void release(int n = 1) {
+    count_ += n;
+    while (count_ > 0 && !waiters_.empty()) {
+      --count_;
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_.post([h] { h.resume(); });
+    }
+  }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& s;
+      bool await_ready() noexcept {
+        if (s.count_ > 0 && s.waiters_.empty()) {
+          --s.count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        s.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulation& sim_;
+  int count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace gridsim

@@ -1,0 +1,22 @@
+#include "simcore/time.hpp"
+
+#include <cstdio>
+
+namespace gridsim {
+
+std::string format_time(SimTime t) {
+  char buf[64];
+  if (t == kSimTimeNever) return "never";
+  if (t < microseconds(10)) {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(t));
+  } else if (t < milliseconds(10)) {
+    std::snprintf(buf, sizeof buf, "%.3f us", to_microseconds(t));
+  } else if (t < seconds(10)) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", to_milliseconds(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", to_seconds(t));
+  }
+  return buf;
+}
+
+}  // namespace gridsim

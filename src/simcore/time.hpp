@@ -1,0 +1,62 @@
+// Virtual-time representation for the discrete-event simulator.
+//
+// All simulation timestamps are integral nanoseconds so that event ordering
+// is exact and runs are bit-reproducible. Durations derived from fluid-model
+// rates are computed in double seconds and rounded up to the next nanosecond
+// (a transfer never completes earlier than the fluid model allows).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace gridsim {
+
+/// Simulation time in nanoseconds since the start of the run.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSimTimeNever = std::numeric_limits<SimTime>::max();
+
+constexpr SimTime nanoseconds(std::int64_t ns) { return ns; }
+constexpr SimTime microseconds(std::int64_t us) { return us * 1'000; }
+constexpr SimTime milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+constexpr SimTime seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+/// Converts a duration in (possibly fractional) seconds to a SimTime,
+/// rounding up so fluid-model completions are never early.
+inline SimTime from_seconds(double s) {
+  assert(s >= 0.0);
+  const double ns = std::ceil(s * 1e9);
+  if (ns >= static_cast<double>(kSimTimeNever)) return kSimTimeNever;
+  return static_cast<SimTime>(ns);
+}
+
+inline double to_seconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+inline double to_microseconds(SimTime t) {
+  return static_cast<double>(t) * 1e-3;
+}
+inline double to_milliseconds(SimTime t) {
+  return static_cast<double>(t) * 1e-6;
+}
+
+/// Human-readable rendering used by traces and experiment reports.
+std::string format_time(SimTime t);
+
+namespace literals {
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return static_cast<SimTime>(v);
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return microseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return milliseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace gridsim

@@ -1,0 +1,32 @@
+#include "simcore/trace.hpp"
+
+namespace gridsim {
+
+std::string to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kMessage: return "message";
+    case TraceKind::kCwnd: return "cwnd";
+    case TraceKind::kLoss: return "loss";
+    case TraceKind::kFlow: return "flow";
+    case TraceKind::kPhase: return "phase";
+    case TraceKind::kKindCount: break;
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> Tracer::of_kind(TraceKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_)
+    if (e.kind == kind) out.push_back(e);
+  return out;
+}
+
+void Tracer::write_csv(std::ostream& out) const {
+  out << "time_s,kind,subject,value,detail\n";
+  for (const auto& e : events_) {
+    out << to_seconds(e.at) << ',' << to_string(e.kind) << ',' << e.subject
+        << ',' << e.value << ',' << e.detail << '\n';
+  }
+}
+
+}  // namespace gridsim

@@ -1,0 +1,284 @@
+#include "simnet/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace gridsim::net {
+
+namespace {
+constexpr double kByteEpsilon = 1e-6;  // below this a flow counts as done
+constexpr double kMinRate = 1e-3;      // B/s floor to avoid infinite etas
+}  // namespace
+
+HostId Network::add_host(std::string name, double cpu_speed) {
+  hosts_.push_back(Host{std::move(name), cpu_speed});
+  return static_cast<HostId>(hosts_.size()) - 1;
+}
+
+LinkId Network::add_link(std::string name, double capacity_bytes_per_sec,
+                         SimTime latency, double queue_bytes) {
+  if (capacity_bytes_per_sec <= 0)
+    throw std::invalid_argument("link capacity must be positive");
+  Link l;
+  l.name = std::move(name);
+  l.capacity = capacity_bytes_per_sec;
+  l.latency = latency;
+  l.queue_bytes = queue_bytes;
+  links_.push_back(std::move(l));
+  return static_cast<LinkId>(links_.size()) - 1;
+}
+
+void Network::add_route(HostId src, HostId dst, std::vector<LinkId> links,
+                        bool symmetric) {
+  Route r;
+  r.links = links;
+  for (LinkId l : links) r.latency += link(l).latency;
+  routes_[route_key(src, dst)] = r;
+  if (symmetric) {
+    Route back;
+    back.links.assign(links.rbegin(), links.rend());
+    back.latency = r.latency;
+    routes_[route_key(dst, src)] = std::move(back);
+  }
+}
+
+bool Network::has_route(HostId src, HostId dst) const {
+  return routes_.count(route_key(src, dst)) != 0;
+}
+
+const Route& Network::route(HostId src, HostId dst) const {
+  auto it = routes_.find(route_key(src, dst));
+  if (it == routes_.end())
+    throw std::out_of_range("no route between " +
+                            hosts_.at(static_cast<size_t>(src)).name + " and " +
+                            hosts_.at(static_cast<size_t>(dst)).name);
+  return it->second;
+}
+
+double Network::path_capacity(HostId src, HostId dst) const {
+  const Route& r = route(src, dst);
+  double cap = kUnlimitedRate;
+  for (LinkId l : r.links) cap = std::min(cap, link(l).capacity);
+  return cap;
+}
+
+double Network::path_queue(HostId src, HostId dst) const {
+  const Route& r = route(src, dst);
+  double q = std::numeric_limits<double>::infinity();
+  for (LinkId l : r.links) q = std::min(q, link(l).queue_bytes);
+  return std::isfinite(q) ? q : 0.0;
+}
+
+void Network::set_link_capacity(LinkId l, double capacity_bytes_per_sec) {
+  if (capacity_bytes_per_sec <= 0)
+    throw std::invalid_argument("link capacity must stay positive");
+  settle();
+  links_.at(static_cast<size_t>(l)).capacity = capacity_bytes_per_sec;
+  solve_and_schedule();
+}
+
+FlowId Network::start_flow(HostId src, HostId dst, double bytes,
+                           double rate_cap, std::function<void()> on_complete) {
+  if (bytes < 0) throw std::invalid_argument("negative flow size");
+  const Route& r = route(src, dst);  // throws if unknown
+  Flow f;
+  f.id = next_flow_id_++;
+  f.links = r.links;
+  f.remaining = bytes;
+  f.rate_cap = std::max(rate_cap, kMinRate);
+  f.on_complete = std::move(on_complete);
+  const FlowId id = f.id;
+  settle();
+  flows_.emplace(id, std::move(f));
+  solve_and_schedule();
+  return id;
+}
+
+void Network::set_rate_cap(FlowId id, double rate_cap) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  settle();
+  it->second.rate_cap = std::max(rate_cap, kMinRate);
+  solve_and_schedule();
+}
+
+void Network::cancel_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  settle();
+  flows_.erase(it);
+  solve_and_schedule();
+}
+
+FlowInfo Network::flow_info(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return {};
+  // Report remaining as of the last settle; callers that need byte-exact
+  // values should not race completions anyway.
+  return FlowInfo{it->second.rate, it->second.achievable,
+                  it->second.remaining};
+}
+
+double Network::link_utilization(LinkId l) const {
+  double sum = 0;
+  for (const auto& [id, f] : flows_)
+    if (std::find(f.links.begin(), f.links.end(), l) != f.links.end())
+      sum += f.rate;
+  return sum;
+}
+
+void Network::settle() {
+  const SimTime now = sim_.now();
+  if (now == last_settle_) return;
+  const double dt = to_seconds(now - last_settle_);
+  last_settle_ = now;
+  for (auto& [id, f] : flows_) {
+    const double moved = f.rate * dt;
+    f.remaining = std::max(0.0, f.remaining - moved);
+    for (LinkId l : f.links)
+      links_[static_cast<size_t>(l)].bytes_carried += moved;
+  }
+}
+
+void Network::solve_and_schedule() {
+  // Progressive-filling max-min with per-flow rate caps.
+  //
+  // Repeatedly find the tightest constraint — either a link's equal share
+  // (residual / unfrozen-flow-count) or an unfrozen flow's cap — and freeze
+  // at it. A frozen flow's rate is subtracted from all links it crosses.
+  const std::size_t nl = links_.size();
+  std::vector<double> residual(nl);
+  std::vector<int> nflows(nl, 0);
+  for (std::size_t i = 0; i < nl; ++i) residual[i] = links_[i].capacity;
+
+  std::vector<Flow*> unfrozen;
+  unfrozen.reserve(flows_.size());
+  // Iterate in id order for determinism (unordered_map order is not stable).
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (auto& [id, f] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (FlowId id : ids) {
+    Flow& f = flows_[id];
+    f.rate = 0;
+    unfrozen.push_back(&f);
+    for (LinkId l : f.links) ++nflows[static_cast<size_t>(l)];
+  }
+
+  while (!unfrozen.empty()) {
+    // Tightest link share.
+    double best_link_share = std::numeric_limits<double>::infinity();
+    LinkId best_link = -1;
+    for (std::size_t i = 0; i < nl; ++i) {
+      if (nflows[i] <= 0) continue;
+      const double share = std::max(0.0, residual[i]) / nflows[i];
+      if (share < best_link_share) {
+        best_link_share = share;
+        best_link = static_cast<LinkId>(i);
+      }
+    }
+    // Tightest flow cap.
+    double best_cap = std::numeric_limits<double>::infinity();
+    Flow* capped = nullptr;
+    for (Flow* f : unfrozen) {
+      if (f->rate_cap < best_cap) {
+        best_cap = f->rate_cap;
+        capped = f;
+      }
+    }
+
+    if (capped != nullptr && best_cap <= best_link_share) {
+      capped->rate = best_cap;
+      for (LinkId l : capped->links) {
+        residual[static_cast<size_t>(l)] -= best_cap;
+        --nflows[static_cast<size_t>(l)];
+      }
+      unfrozen.erase(std::find(unfrozen.begin(), unfrozen.end(), capped));
+    } else if (best_link >= 0) {
+      // Freeze every unfrozen flow crossing the bottleneck link.
+      std::vector<Flow*> still;
+      still.reserve(unfrozen.size());
+      for (Flow* f : unfrozen) {
+        const bool on_bottleneck =
+            std::find(f->links.begin(), f->links.end(), best_link) !=
+            f->links.end();
+        if (on_bottleneck) {
+          f->rate = best_link_share;
+          for (LinkId l : f->links) {
+            residual[static_cast<size_t>(l)] -= best_link_share;
+            --nflows[static_cast<size_t>(l)];
+          }
+        } else {
+          still.push_back(f);
+        }
+      }
+      unfrozen.swap(still);
+    } else {
+      // Flows with no links (same-host loopback handled by caller); give
+      // them their cap.
+      for (Flow* f : unfrozen) f->rate = f->rate_cap;
+      unfrozen.clear();
+    }
+  }
+
+  // Post-solve: achievable rate = own rate + slack at the tightest crossed
+  // link (what the flow could claim if its window were unlimited).
+  for (FlowId id : ids) {
+    Flow& f = flows_[id];
+    double slack = std::numeric_limits<double>::infinity();
+    for (LinkId l : f.links)
+      slack = std::min(slack, std::max(0.0, residual[static_cast<size_t>(l)]));
+    if (!std::isfinite(slack)) slack = 0.0;  // linkless flow
+    f.achievable = f.rate + slack;
+    schedule_completion(f);
+  }
+}
+
+void Network::schedule_completion(Flow& f) {
+  const FlowId id = f.id;
+  if (f.remaining <= kByteEpsilon) {
+    const std::uint64_t gen = ++f.completion_gen;
+    sim_.post([this, id, gen] {
+      auto it = flows_.find(id);
+      if (it != flows_.end() && it->second.completion_gen == gen)
+        finish_flow(id);
+    });
+    return;
+  }
+  const double rate = std::max(f.rate, kMinRate);
+  const SimTime eta = sim_.now() + from_seconds(f.remaining / rate);
+  if (eta >= kSimTimeNever) return;  // effectively stalled; a cap/flow change
+                                     // will reschedule
+  // Only schedule if this beats the already-pending check: keeps the event
+  // horizon monotonically shrinking per flow (rate drops are handled by the
+  // earlier event firing, re-settling and rescheduling).
+  if (eta >= f.scheduled_eta) return;
+  const std::uint64_t gen = ++f.completion_gen;
+  f.scheduled_eta = eta;
+  sim_.at(eta, [this, id, gen] {
+    auto it = flows_.find(id);
+    if (it == flows_.end() || it->second.completion_gen != gen) return;
+    settle();
+    if (it->second.remaining <= kByteEpsilon) {
+      finish_flow(id);
+    } else {
+      it->second.scheduled_eta = kSimTimeNever;
+      schedule_completion(it->second);
+    }
+  });
+}
+
+void Network::finish_flow(FlowId id) {
+  settle();
+  auto it = flows_.find(id);
+  assert(it != flows_.end());
+  assert(it->second.remaining <= 1.0 + 1e-9 * it->second.rate);
+  std::function<void()> cb = std::move(it->second.on_complete);
+  flows_.erase(it);
+  solve_and_schedule();
+  if (cb) cb();
+}
+
+}  // namespace gridsim::net

@@ -1,0 +1,165 @@
+// Flow-level (fluid) network model.
+//
+// The network is a set of hosts joined by point-to-point links; a *flow* is
+// an in-progress byte transfer along a fixed route. Whenever the set of
+// flows (or a flow's rate cap) changes, bandwidth is re-allocated with
+// progressive-filling max-min fairness, honouring each flow's rate cap (the
+// TCP layer caps a flow at window/RTT). Flow completions are scheduled from
+// the allocation and invalidated by a generation counter when a re-solve
+// moves them.
+//
+// This is the same modelling level as SimGrid's network model: accurate for
+// the first-order effects the paper studies (window-limited throughput on
+// long fat networks, fair sharing of a WAN bottleneck, transfer times),
+// while cheap enough to simulate full NPB runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/simulation.hpp"
+#include "simcore/time.hpp"
+
+namespace gridsim::net {
+
+using HostId = int;
+using LinkId = int;
+using FlowId = std::uint64_t;
+
+inline constexpr FlowId kInvalidFlow = 0;
+inline constexpr double kUnlimitedRate =
+    std::numeric_limits<double>::infinity();
+
+struct Host {
+  std::string name;
+  /// Relative compute speed (1.0 = reference node). Used by application
+  /// models to scale compute phases; the network layer ignores it.
+  double cpu_speed = 1.0;
+};
+
+struct Link {
+  std::string name;
+  double capacity = 0;   ///< bytes per second
+  SimTime latency = 0;   ///< one-way propagation delay
+  double queue_bytes = 0;  ///< router/NIC buffer; bounds loss-free bursts
+  // Lifetime statistics.
+  double bytes_carried = 0;
+};
+
+struct Route {
+  std::vector<LinkId> links;
+  SimTime latency = 0;  ///< sum of link latencies
+};
+
+/// Snapshot of one flow's allocation, used by the TCP layer.
+struct FlowInfo {
+  double rate = 0;             ///< currently allocated rate (B/s)
+  double achievable_rate = 0;  ///< rate if this flow's cap were removed
+  double remaining = 0;        ///< bytes not yet transferred
+};
+
+class Network {
+ public:
+  explicit Network(Simulation& sim) : sim_(sim) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- topology construction -------------------------------------------
+  HostId add_host(std::string name, double cpu_speed = 1.0);
+  LinkId add_link(std::string name, double capacity_bytes_per_sec,
+                  SimTime latency, double queue_bytes);
+  /// Registers the path src -> dst (and, if `symmetric`, dst -> src with the
+  /// links reversed). Re-registering overwrites.
+  void add_route(HostId src, HostId dst, std::vector<LinkId> links,
+                 bool symmetric = true);
+
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+  int link_count() const { return static_cast<int>(links_.size()); }
+  /// First link whose name matches exactly; -1 if absent.
+  LinkId find_link(const std::string& name) const {
+    for (std::size_t i = 0; i < links_.size(); ++i)
+      if (links_[i].name == name) return static_cast<LinkId>(i);
+    return -1;
+  }
+  const Host& host(HostId h) const { return hosts_.at(static_cast<size_t>(h)); }
+  const Link& link(LinkId l) const { return links_.at(static_cast<size_t>(l)); }
+  bool has_route(HostId src, HostId dst) const;
+  const Route& route(HostId src, HostId dst) const;
+  SimTime path_latency(HostId src, HostId dst) const {
+    return route(src, dst).latency;
+  }
+  /// Smallest link capacity along the route (B/s).
+  double path_capacity(HostId src, HostId dst) const;
+  /// Smallest queue along the route (bytes); the burst budget for TCP.
+  double path_queue(HostId src, HostId dst) const;
+
+  // --- flows -------------------------------------------------------------
+  /// Changes a link's capacity at runtime (degradation, failure drill, or
+  /// recovery); active flows are re-allocated immediately. The capacity
+  /// must stay positive — model a failed link as a tiny capacity rather
+  /// than zero so control traffic still trickles and deadlock is visible.
+  void set_link_capacity(LinkId l, double capacity_bytes_per_sec);
+
+  /// Starts transferring `bytes` from src to dst. `on_complete` fires (via
+  /// the event queue) when the last byte has left the sender-side fluid
+  /// pipe; propagation latency is applied by the caller (the TCP layer).
+  FlowId start_flow(HostId src, HostId dst, double bytes, double rate_cap,
+                    std::function<void()> on_complete);
+  /// Updates a flow's rate cap (TCP window changes). No-op on unknown ids.
+  void set_rate_cap(FlowId id, double rate_cap);
+  /// Aborts a flow without firing its completion.
+  void cancel_flow(FlowId id);
+  bool flow_active(FlowId id) const { return flows_.count(id) != 0; }
+  FlowInfo flow_info(FlowId id) const;
+
+  int active_flow_count() const { return static_cast<int>(flows_.size()); }
+  /// Total allocated rate crossing `l` right now (<= capacity).
+  double link_utilization(LinkId l) const;
+
+  Simulation& sim() { return sim_; }
+
+ private:
+  struct Flow {
+    FlowId id = kInvalidFlow;
+    std::vector<LinkId> links;
+    double remaining = 0;
+    double rate_cap = kUnlimitedRate;
+    double rate = 0;
+    double achievable = 0;
+    std::function<void()> on_complete;
+    std::uint64_t completion_gen = 0;
+    SimTime scheduled_eta = kSimTimeNever;  ///< earliest pending check
+  };
+
+  /// Applies elapsed time to all flows' remaining-byte counters.
+  void settle();
+  /// Recomputes the max-min allocation and (re)schedules completions.
+  void solve_and_schedule();
+  void schedule_completion(Flow& f);
+  void finish_flow(FlowId id);
+
+  Simulation& sim_;
+  std::vector<Host> hosts_;
+  std::vector<Link> links_;
+  std::unordered_map<std::uint64_t, Route> routes_;  // key = src<<32 | dst
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  SimTime last_settle_ = 0;
+
+  static std::uint64_t route_key(HostId src, HostId dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+};
+
+/// Convenience: converts megabits per second to bytes per second.
+constexpr double mbps(double v) { return v * 1e6 / 8.0; }
+/// Convenience: converts gigabits per second to bytes per second.
+constexpr double gbps(double v) { return v * 1e9 / 8.0; }
+
+}  // namespace gridsim::net

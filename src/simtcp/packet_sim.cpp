@@ -1,0 +1,163 @@
+#include "simtcp/packet_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gridsim::tcp {
+
+namespace {
+
+/// The whole connection state machine; lives for one transfer.
+class PacketTcp {
+ public:
+  PacketTcp(Simulation& sim, double bytes, const PacketSimConfig& cfg)
+      : sim_(sim),
+        cfg_(cfg),
+        total_packets_(static_cast<int>(std::ceil(bytes / cfg.mss))),
+        received_(static_cast<size_t>(total_packets_), false),
+        cwnd_(cfg.initial_window_packets),
+        window_limit_(std::max(1.0, cfg.window_limit_bytes / cfg.mss)) {}
+
+  PacketSimResult run() {
+    try_send();
+    arm_rto();
+    sim_.run();
+    result_.completion = done_at_;
+    return result_;
+  }
+
+ private:
+  double service_time_s() const { return cfg_.mss / cfg_.capacity; }
+
+  int inflight() const { return next_seq_ - highest_acked_; }
+
+  void try_send() {
+    while (next_seq_ < total_packets_ &&
+           inflight() < static_cast<int>(std::min(cwnd_, window_limit_))) {
+      transmit(next_seq_++);
+    }
+  }
+
+  void transmit(int seq) {
+    ++result_.packets_sent;
+    if (queue_len_ >= cfg_.queue_packets) {
+      ++result_.losses;  // droptail
+      return;
+    }
+    ++queue_len_;
+    // Bottleneck serves packets back to back.
+    const SimTime service = from_seconds(service_time_s());
+    server_free_ = std::max(server_free_, sim_.now()) + service;
+    const SimTime departure = server_free_;
+    sim_.at(departure, [this, seq] {
+      --queue_len_;
+      sim_.after(cfg_.one_way, [this, seq] { on_receive(seq); });
+    });
+  }
+
+  void on_receive(int seq) {
+    if (seq < total_packets_) received_[static_cast<size_t>(seq)] = true;
+    while (cum_ack_ < total_packets_ &&
+           received_[static_cast<size_t>(cum_ack_)]) {
+      ++cum_ack_;
+    }
+    const int ack = cum_ack_;
+    sim_.after(cfg_.one_way, [this, ack] { on_ack(ack); });
+  }
+
+  void on_ack(int ack) {
+    if (done_at_ >= 0) return;
+    if (ack > highest_acked_) {
+      highest_acked_ = ack;
+      dup_acks_ = 0;
+      progress_gen_++;
+      if (in_recovery_) {
+        if (highest_acked_ >= recovery_end_) {
+          in_recovery_ = false;
+        } else {
+          // NewReno partial ack: the next hole is known lost; retransmit
+          // immediately instead of waiting for an RTO.
+          ++result_.retransmits;
+          transmit(highest_acked_);
+        }
+      }
+      // Window growth per newly acked packet.
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += 1;  // slow start: +1 per ack
+      } else {
+        cwnd_ += 1.0 / cwnd_;  // Reno congestion avoidance
+      }
+      result_.max_cwnd_packets = std::max(result_.max_cwnd_packets, cwnd_);
+      if (highest_acked_ >= total_packets_) {
+        done_at_ = sim_.now();
+        return;
+      }
+      try_send();
+      arm_rto();
+      return;
+    }
+    // Duplicate cumulative ack: a later packet arrived out of order.
+    ++dup_acks_;
+    if (dup_acks_ == 3 && !in_recovery_) {
+      // Fast retransmit + recovery (Reno).
+      ssthresh_ = std::max(cwnd_ / 2, 2.0);
+      cwnd_ = ssthresh_;
+      in_recovery_ = true;
+      recovery_end_ = next_seq_;
+      ++result_.retransmits;
+      transmit(highest_acked_);  // the missing packet
+    }
+  }
+
+  void arm_rto() {
+    const std::uint64_t gen = progress_gen_;
+    sim_.after(cfg_.rto, [this, gen] {
+      if (done_at_ >= 0 || gen != progress_gen_) return;
+      // No progress for a full RTO: retransmit the missing packet and
+      // collapse to slow start.
+      ssthresh_ = std::max(cwnd_ / 2, 2.0);
+      cwnd_ = cfg_.initial_window_packets;
+      in_recovery_ = false;
+      ++result_.retransmits;
+      ++progress_gen_;
+      transmit(highest_acked_);
+      arm_rto();
+    });
+  }
+
+  Simulation& sim_;
+  PacketSimConfig cfg_;
+  int total_packets_;
+  std::vector<bool> received_;
+
+  // Sender state.
+  int next_seq_ = 0;
+  int highest_acked_ = 0;
+  int cum_ack_ = 0;
+  double cwnd_;
+  double ssthresh_ = 1e18;
+  double window_limit_;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  int recovery_end_ = 0;
+  std::uint64_t progress_gen_ = 0;
+
+  // Bottleneck state.
+  int queue_len_ = 0;
+  SimTime server_free_ = 0;
+
+  SimTime done_at_ = -1;
+  PacketSimResult result_;
+};
+
+}  // namespace
+
+PacketSimResult packet_level_transfer(double bytes,
+                                      const PacketSimConfig& cfg) {
+  Simulation sim;
+  PacketTcp conn(sim, bytes, cfg);
+  return conn.run();
+}
+
+}  // namespace gridsim::tcp

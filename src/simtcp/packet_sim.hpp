@@ -1,0 +1,43 @@
+// Packet-level TCP reference simulation.
+//
+// The fluid TcpChannel model makes several approximations (per-RTT cwnd
+// epochs, rate caps instead of packets, analytic loss detection). This
+// module is its ground truth: a single-path, packet-granular TCP sender —
+// droptail bottleneck queue, per-packet cumulative acks, slow start, Reno
+// congestion avoidance, fast retransmit on three duplicate acks and a
+// coarse retransmission timeout.
+//
+// It is deliberately limited to one connection on one path: its job is to
+// validate the fluid model's transfer times and loss behaviour
+// (tests/packet_sim_test.cpp), not to run experiments.
+#pragma once
+
+#include "simcore/simulation.hpp"
+#include "simtcp/tcp.hpp"
+
+namespace gridsim::tcp {
+
+struct PacketSimConfig {
+  double capacity = ethernet_goodput(1e9);  ///< payload bytes/s
+  SimTime one_way = microseconds(5800);     ///< propagation, each direction
+  int queue_packets = 690;                  ///< droptail bottleneck (~1 MB)
+  double mss = 1448;
+  double window_limit_bytes = 4e6;          ///< socket buffer bound
+  int initial_window_packets = 2;
+  SimTime rto = milliseconds(200);
+};
+
+struct PacketSimResult {
+  SimTime completion = 0;  ///< last byte acked
+  int packets_sent = 0;    ///< including retransmits
+  int losses = 0;          ///< queue drops
+  int retransmits = 0;
+  double max_cwnd_packets = 0;
+};
+
+/// Runs one bulk transfer of `bytes` to completion inside `sim` (which
+/// must be otherwise idle) and returns the outcome.
+PacketSimResult packet_level_transfer(double bytes,
+                                      const PacketSimConfig& cfg);
+
+}  // namespace gridsim::tcp

@@ -1,0 +1,242 @@
+// gridsim — command-line driver for the simulator.
+//
+//   gridsim pingpong  [--impl NAME] [--tuning default|tcp|full] [--cluster]
+//                     [--min BYTES] [--max BYTES] [--rounds N]
+//   gridsim latency   [--impl NAME] [--tuning ...]
+//   gridsim nas       [--kernel K] [--class S|A|B] [--ranks N]
+//                     [--impl NAME] [--tuning ...] [--cluster]
+//   gridsim ray2mesh  [--master SITE] [--rays N] [--impl NAME]
+//   gridsim simri     [--object N] [--nodes N]
+//   gridsim slowstart [--impl NAME] [--messages N] [--cross-traffic]
+//
+// Implementations: TCP, MPICH2, GridMPI, MPICH-Madeleine, OpenMPI,
+// MPICH-G2.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/ray2mesh.hpp"
+#include "apps/simri.hpp"
+#include "harness/npb_campaign.hpp"
+#include "harness/pingpong.hpp"
+#include "harness/report.hpp"
+#include "profiles/profiles.hpp"
+
+namespace {
+
+using namespace gridsim;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name); }
+  std::string get(const std::string& name, const std::string& dflt) const {
+    auto it = options.find(name);
+    return it == options.end() ? dflt : it->second;
+  }
+  double num(const std::string& name, double dflt) const {
+    auto it = options.find(name);
+    return it == options.end() ? dflt : std::atof(it->second.c_str());
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc > 1) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
+      std::exit(2);
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      a.options[key] = argv[++i];
+    } else {
+      a.options[key] = "";
+    }
+  }
+  return a;
+}
+
+mpi::ImplProfile impl_by_name(const std::string& name) {
+  if (name == "TCP") return profiles::raw_tcp();
+  if (name == "MPICH-G2") return profiles::mpich_g2();
+  for (const auto& p : profiles::all_implementations())
+    if (p.name == name) return p;
+  std::fprintf(stderr,
+               "unknown implementation '%s' (TCP, MPICH2, GridMPI, "
+               "MPICH-Madeleine, OpenMPI, MPICH-G2)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+profiles::TuningLevel tuning_by_name(const std::string& name) {
+  if (name == "default") return profiles::TuningLevel::kDefault;
+  if (name == "tcp") return profiles::TuningLevel::kTcpTuned;
+  if (name == "full") return profiles::TuningLevel::kFullyTuned;
+  std::fprintf(stderr, "unknown tuning level '%s' (default, tcp, full)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int cmd_pingpong(const Args& a) {
+  const auto impl = impl_by_name(a.get("impl", "MPICH2"));
+  const auto cfg =
+      profiles::configure(impl, tuning_by_name(a.get("tuning", "full")));
+  const bool cluster = a.flag("cluster");
+  const auto spec = cluster ? topo::GridSpec::single_cluster(2)
+                            : topo::GridSpec::rennes_nancy(1);
+  const harness::PingpongEndpoints ends =
+      cluster ? harness::PingpongEndpoints{0, 0, 0, 1}
+              : harness::PingpongEndpoints{0, 0, 1, 0};
+  harness::PingpongOptions opt;
+  opt.sizes = harness::pow2_sizes(a.num("min", 1024),
+                                  a.num("max", 64.0 * 1024 * 1024));
+  opt.rounds = static_cast<int>(a.num("rounds", 12));
+  std::printf("# pingpong %s (%s, %s)\n", impl.name.c_str(),
+              cluster ? "cluster" : "grid", a.get("tuning", "full").c_str());
+  std::printf("%10s %14s %16s\n", "size", "latency (us)", "bandwidth (Mbps)");
+  for (const auto& p : harness::pingpong_sweep(spec, ends, cfg, opt)) {
+    std::printf("%10s %14.1f %16.1f\n",
+                harness::format_bytes(p.bytes).c_str(),
+                to_microseconds(p.min_one_way), p.max_bandwidth_mbps);
+  }
+  return 0;
+}
+
+int cmd_latency(const Args& a) {
+  const auto impl = impl_by_name(a.get("impl", "MPICH2"));
+  const auto cfg =
+      profiles::configure(impl, tuning_by_name(a.get("tuning", "default")));
+  const SimTime lan = harness::pingpong_min_latency(
+      topo::GridSpec::single_cluster(2), {0, 0, 0, 1}, cfg);
+  const SimTime wan = harness::pingpong_min_latency(
+      topo::GridSpec::rennes_nancy(1), {0, 0, 1, 0}, cfg);
+  std::printf("%s: cluster %.1f us, grid %.1f us (one-way)\n",
+              impl.name.c_str(), to_microseconds(lan), to_microseconds(wan));
+  return 0;
+}
+
+int cmd_nas(const Args& a) {
+  const std::string kname = a.get("kernel", "CG");
+  npb::Kernel kernel = npb::Kernel::kCG;
+  bool found = false;
+  for (auto k : npb::all_kernels())
+    if (npb::name(k) == kname) {
+      kernel = k;
+      found = true;
+    }
+  if (!found) {
+    std::fprintf(stderr, "unknown kernel '%s'\n", kname.c_str());
+    return 2;
+  }
+  const std::string cname = a.get("class", "A");
+  const npb::Class cls = cname == "S"   ? npb::Class::kS
+                         : cname == "B" ? npb::Class::kB
+                                        : npb::Class::kA;
+  const int ranks = static_cast<int>(a.num("ranks", 16));
+  npb::validate_ranks(kernel, ranks);
+  const auto impl = impl_by_name(a.get("impl", "MPICH2"));
+  const auto cfg =
+      profiles::configure(impl, tuning_by_name(a.get("tuning", "tcp")));
+  const bool cluster = a.flag("cluster");
+  const auto spec = cluster ? topo::GridSpec::single_cluster(ranks)
+                            : topo::GridSpec::rennes_nancy((ranks + 1) / 2);
+  const auto res = harness::run_npb(spec, ranks, kernel, cls, cfg);
+  std::printf("NPB %s class %s, %d ranks, %s, %s: %.2f s\n", kname.c_str(),
+              cname.c_str(), ranks, impl.name.c_str(),
+              cluster ? "cluster" : "grid", to_seconds(res.makespan));
+  std::printf("  p2p: %llu msgs / %.1f MB; collective: %llu msgs / %.1f MB\n",
+              static_cast<unsigned long long>(res.traffic.p2p_messages),
+              res.traffic.p2p_bytes / 1e6,
+              static_cast<unsigned long long>(res.traffic.collective_messages),
+              res.traffic.collective_bytes / 1e6);
+  return 0;
+}
+
+int cmd_ray2mesh(const Args& a) {
+  const auto spec = topo::GridSpec::ray2mesh_quad(8);
+  int master = 0;
+  const std::string want = a.get("master", "rennes");
+  for (int s = 0; s < static_cast<int>(spec.sites.size()); ++s)
+    if (spec.sites[static_cast<size_t>(s)].name == want) master = s;
+  apps::Ray2MeshConfig app;
+  app.total_rays = static_cast<int>(a.num("rays", 1e6));
+  const auto impl = impl_by_name(a.get("impl", "GridMPI"));
+  const auto cfg = profiles::configure(impl, profiles::TuningLevel::kTcpTuned);
+  const auto res = apps::run_ray2mesh(spec, master, cfg, app);
+  std::printf("ray2mesh, master=%s: compute %.1f s, merge %.1f s, total %.1f s\n",
+              want.c_str(), to_seconds(res.compute_time),
+              to_seconds(res.merge_time), to_seconds(res.total_time));
+  for (int s = 0; s < static_cast<int>(res.rays_per_site.size()); ++s)
+    std::printf("  %-9s %d rays\n",
+                spec.sites[static_cast<size_t>(s)].name.c_str(),
+                res.rays_per_site[static_cast<size_t>(s)]);
+  return 0;
+}
+
+int cmd_simri(const Args& a) {
+  apps::SimriConfig app;
+  app.object_n = static_cast<int>(a.num("object", 256));
+  const int nodes = static_cast<int>(a.num("nodes", 8));
+  const auto cfg = profiles::configure(profiles::mpich2(),
+                                       profiles::TuningLevel::kDefault);
+  const auto res =
+      apps::run_simri(topo::GridSpec::single_cluster(16), nodes, cfg, app);
+  std::printf(
+      "simri %dx%d on %d nodes: total %.2f s, comm %.2f%%, speedup %.2f, "
+      "efficiency %.2f\n",
+      app.object_n, app.object_n, nodes, to_seconds(res.total_time),
+      res.comm_fraction * 100, res.speedup, res.efficiency);
+  return 0;
+}
+
+int cmd_slowstart(const Args& a) {
+  const auto impl = impl_by_name(a.get("impl", "TCP"));
+  const auto cfg = profiles::configure(impl,
+                                       profiles::TuningLevel::kFullyTuned);
+  auto spec = topo::GridSpec::rennes_nancy(2);
+  harness::CrossTraffic cross;
+  if (a.flag("cross-traffic")) {
+    for (auto& site : spec.sites) site.uplink_bps = 1e9;
+    cross.burst_bytes = 24e6;
+    cross.period = milliseconds(600);
+  }
+  const int count = static_cast<int>(a.num("messages", 200));
+  const auto series =
+      harness::slowstart_series(spec, {0, 0, 1, 0}, cfg, 1e6, count, cross);
+  std::printf("# t_s,mbps (%s)\n", impl.name.c_str());
+  for (const auto& s : series)
+    std::printf("%.3f,%.1f\n", to_seconds(s.at), s.mbps);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gridsim <pingpong|latency|nas|ray2mesh|simri|"
+               "slowstart> [--options]\n"
+               "see the header of src/tools/gridsim_cli.cpp\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  try {
+    if (a.command == "pingpong") return cmd_pingpong(a);
+    if (a.command == "latency") return cmd_latency(a);
+    if (a.command == "nas") return cmd_nas(a);
+    if (a.command == "ray2mesh") return cmd_ray2mesh(a);
+    if (a.command == "simri") return cmd_simri(a);
+    if (a.command == "slowstart") return cmd_slowstart(a);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,95 @@
+// Failure/degradation injection: runtime link-capacity changes and how
+// flows and TCP react.
+#include <gtest/gtest.h>
+
+#include "simcore/simulation.hpp"
+#include "simnet/network.hpp"
+#include "simtcp/tcp.hpp"
+
+namespace gridsim::net {
+namespace {
+
+using namespace gridsim::literals;
+
+TEST(Degradation, FlowSlowsWhenLinkDegrades) {
+  Simulation sim;
+  Network n(sim);
+  const auto a = n.add_host("a");
+  const auto b = n.add_host("b");
+  const auto l = n.add_link("l", 1e8, 1_ms, 1e6);
+  n.add_route(a, b, {l});
+  SimTime done = -1;
+  n.start_flow(a, b, 1e8, kUnlimitedRate, [&] { done = sim.now(); });
+  // Halve the capacity at t = 0.5 s: 50 MB moved, 50 MB left at 50 MB/s.
+  sim.at(500_ms, [&] { n.set_link_capacity(l, 5e7); });
+  sim.run();
+  EXPECT_EQ(done, 1500_ms);
+}
+
+TEST(Degradation, RecoveryRestoresRate) {
+  Simulation sim;
+  Network n(sim);
+  const auto a = n.add_host("a");
+  const auto b = n.add_host("b");
+  const auto l = n.add_link("l", 1e8, 1_ms, 1e6);
+  n.add_route(a, b, {l});
+  SimTime done = -1;
+  n.start_flow(a, b, 2e8, kUnlimitedRate, [&] { done = sim.now(); });
+  sim.at(500_ms, [&] { n.set_link_capacity(l, 1e7); });  // 10x degradation
+  sim.at(1500_ms, [&] { n.set_link_capacity(l, 1e8); });  // recovery
+  sim.run();
+  // 0.5 s at 100 MB/s (50 MB) + 1 s at 10 MB/s (10 MB) + 1.4 s at 100 MB/s.
+  EXPECT_EQ(done, 2900_ms);
+}
+
+TEST(Degradation, ZeroCapacityRejected) {
+  Simulation sim;
+  Network n(sim);
+  const auto l = n.add_link("l", 1e8, 1_ms, 1e6);
+  EXPECT_THROW(n.set_link_capacity(l, 0), std::invalid_argument);
+  EXPECT_THROW(n.set_link_capacity(l, -5), std::invalid_argument);
+}
+
+TEST(Degradation, TcpAdaptsToDegradedPath) {
+  // A TCP transfer across a link that degrades mid-flight: the connection
+  // must still complete, with the window shrinking via losses.
+  Simulation sim;
+  Network n(sim);
+  const auto a = n.add_host("a");
+  const auto b = n.add_host("b");
+  const auto l =
+      n.add_link("l", tcp::ethernet_goodput(1e9), 5_ms, 1e6);
+  n.add_route(a, b, {l});
+  const auto k = tcp::KernelTunables::grid_tuned();
+  tcp::TcpChannel ch(n, a, b, k, k, {});
+  SimTime done = -1;
+  ch.send(256e6, nullptr, [&] { done = sim.now(); });
+  sim.at(1_s, [&] { n.set_link_capacity(l, tcp::ethernet_goodput(1e8)); });
+  sim.run_until(120_s);
+  ASSERT_GT(done, 0);
+  // Well slower than the undegraded ~2.4 s, but bounded by the 100 Mbps
+  // floor on the remaining bytes.
+  EXPECT_GT(done, 5_s);
+  EXPECT_LT(done, 40_s);
+}
+
+TEST(Degradation, OtherFlowsGainWhenOneThrottled) {
+  Simulation sim;
+  Network n(sim);
+  const auto a = n.add_host("a");
+  const auto b = n.add_host("b");
+  const auto l = n.add_link("l", 1e8, 1_ms, 1e6);
+  n.add_route(a, b, {l});
+  SimTime d1 = -1, d2 = -1;
+  const FlowId f1 =
+      n.start_flow(a, b, 1e8, kUnlimitedRate, [&] { d1 = sim.now(); });
+  n.start_flow(a, b, 1e8, kUnlimitedRate, [&] { d2 = sim.now(); });
+  // Throttle flow 1 at t=0: flow 2 should take the slack.
+  n.set_rate_cap(f1, 2e7);
+  EXPECT_NEAR(n.flow_info(f1).rate, 2e7, 1);
+  sim.run();
+  EXPECT_GT(d1, d2);  // throttled flow finishes last
+}
+
+}  // namespace
+}  // namespace gridsim::net

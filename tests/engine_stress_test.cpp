@@ -1,0 +1,124 @@
+// Stress and determinism tests for the simulation engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "collectives/collectives.hpp"
+#include "mpi/mpi.hpp"
+#include "profiles/profiles.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/sync.hpp"
+#include "topology/grid5000.hpp"
+
+namespace gridsim {
+namespace {
+
+TEST(EngineStress, HundredThousandEventsInOrder) {
+  Simulation sim;
+  Rng rng(42);
+  SimTime last_seen = -1;
+  bool ordered = true;
+  for (int i = 0; i < 100'000; ++i) {
+    const SimTime t = rng.uniform_int(0, 1'000'000);
+    sim.at(t, [&last_seen, &ordered, &sim] {
+      if (sim.now() < last_seen) ordered = false;
+      last_seen = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(sim.events_processed(), 100'000u);
+}
+
+Task<void> chatter(Simulation& sim, Mailbox<int>* in, Mailbox<int>* out,
+                   int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    const int v = co_await in->pop();
+    co_await sim.delay(1);
+    out->push(v + 1);
+  }
+}
+
+TEST(EngineStress, FiveThousandCoroutinesPingPong) {
+  Simulation sim;
+  constexpr int kPairs = 2'500;
+  std::vector<std::unique_ptr<Mailbox<int>>> boxes;
+  for (int i = 0; i < 2 * kPairs; ++i)
+    boxes.push_back(std::make_unique<Mailbox<int>>(sim));
+  for (int i = 0; i < kPairs; ++i) {
+    sim.spawn(chatter(sim, boxes[2 * size_t(i)].get(),
+                      boxes[2 * size_t(i) + 1].get(), 10));
+    sim.spawn(chatter(sim, boxes[2 * size_t(i) + 1].get(),
+                      boxes[2 * size_t(i)].get(), 10));
+    boxes[2 * size_t(i)]->push(0);
+  }
+  sim.run();
+  EXPECT_EQ(sim.live_processes(), 0);
+}
+
+/// Full MPI scenario run twice must produce byte-identical results.
+struct RunSignature {
+  SimTime end;
+  std::uint64_t events;
+  std::uint64_t msgs;
+  double bytes;
+  bool operator==(const RunSignature& o) const {
+    return end == o.end && events == o.events && msgs == o.msgs &&
+           bytes == o.bytes;
+  }
+};
+
+Task<void> stress_rank(mpi::Rank& r) {
+  // A mix of everything: wildcard receives, nonblocking ops, collectives.
+  const int right = (r.rank() + 1) % r.size();
+  const int left = (r.rank() - 1 + r.size()) % r.size();
+  for (int i = 0; i < 5; ++i) {
+    mpi::Request rq = r.irecv(left, 7);
+    co_await r.send(right, 1000.0 * (i + 1), 7);
+    (void)co_await r.wait(rq);
+    co_await coll::barrier(r);
+  }
+}
+
+RunSignature run_once() {
+  Simulation sim;
+  topo::Grid grid(sim, topo::GridSpec::rennes_nancy(4));
+  const auto cfg = profiles::configure(profiles::gridmpi(),
+                                       profiles::TuningLevel::kTcpTuned);
+  mpi::Job job(grid, mpi::block_placement(grid, 8), cfg.profile, cfg.kernel);
+  job.launch([](mpi::Rank& r) { return stress_rank(r); });
+  const SimTime end = sim.run();
+  return RunSignature{end, sim.events_processed(),
+                      job.traffic().p2p_messages, job.traffic().p2p_bytes};
+}
+
+TEST(EngineStress, FullScenarioBitReproducible) {
+  const RunSignature a = run_once();
+  const RunSignature b = run_once();
+  EXPECT_TRUE(a == b);
+}
+
+TEST(EngineStress, SpawnInsideEventAtSameTimestamp) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(100, [&] {
+    order.push_back(1);
+    sim.spawn([](std::vector<int>* ord) -> Task<void> {
+      ord->push_back(2);
+      co_return;
+    }(&order));
+    order.push_back(3);  // runs before the spawned task (FIFO)
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(EngineStress, SpawnEmptyTaskThrows) {
+  Simulation sim;
+  EXPECT_THROW(sim.spawn(Task<void>{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridsim

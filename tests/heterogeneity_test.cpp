@@ -1,0 +1,71 @@
+// Tests for the optional native intra-cluster fabric (the paper's
+// heterogeneity future-work study).
+#include <gtest/gtest.h>
+
+#include "harness/npb_campaign.hpp"
+#include "profiles/profiles.hpp"
+#include "simcore/simulation.hpp"
+#include "topology/grid5000.hpp"
+
+namespace gridsim::topo {
+namespace {
+
+using namespace gridsim::literals;
+
+GridSpec myrinet_spec(bool prefer_native) {
+  GridSpec spec = GridSpec::rennes_nancy(4);
+  spec.prefer_native_intra = prefer_native;
+  for (auto& site : spec.sites) {
+    site.native_bps = 2e9;  // Myrinet 2000
+    site.native_latency = microseconds(5);
+  }
+  return spec;
+}
+
+TEST(Heterogeneity, NativeFabricLowersIntraLatency) {
+  Simulation sim_eth, sim_mx;
+  Grid eth(sim_eth, myrinet_spec(false));
+  Grid mx(sim_mx, myrinet_spec(true));
+  // Ethernet intra: 2 x 17.5 us. Native: 2 x 5 us.
+  EXPECT_EQ(eth.network().path_latency(eth.node(0, 0), eth.node(0, 1)),
+            35_us);
+  EXPECT_EQ(mx.network().path_latency(mx.node(0, 0), mx.node(0, 1)), 10_us);
+}
+
+TEST(Heterogeneity, NativeFabricRaisesIntraBandwidth) {
+  Simulation sim;
+  Grid mx(sim, myrinet_spec(true));
+  const double cap =
+      mx.network().path_capacity(mx.node(0, 0), mx.node(0, 1));
+  EXPECT_NEAR(cap, 2e9 / 8.0, 1e3);  // raw 2 Gbps, no Ethernet framing
+}
+
+TEST(Heterogeneity, WanPathsUnchanged) {
+  Simulation sim_eth, sim_mx;
+  Grid eth(sim_eth, myrinet_spec(false));
+  Grid mx(sim_mx, myrinet_spec(true));
+  // Inter-site traffic still rides Ethernet + WAN: identical latency.
+  EXPECT_EQ(eth.network().path_latency(eth.node(0, 0), eth.node(1, 0)),
+            mx.network().path_latency(mx.node(0, 0), mx.node(1, 0)));
+}
+
+TEST(Heterogeneity, FabricIgnoredWithoutPreferFlag) {
+  GridSpec spec = myrinet_spec(false);
+  Simulation sim;
+  Grid grid(sim, spec);
+  EXPECT_EQ(grid.network().path_latency(grid.node(0, 0), grid.node(0, 1)),
+            35_us);
+}
+
+TEST(Heterogeneity, LatencyBoundKernelGainsFromNativeFabric) {
+  const auto cfg = profiles::configure(profiles::mpich_madeleine(),
+                                       profiles::TuningLevel::kTcpTuned);
+  const auto eth = harness::run_npb(myrinet_spec(false), 4, npb::Kernel::kLU,
+                                    npb::Class::kS, cfg);
+  const auto mx = harness::run_npb(myrinet_spec(true), 4, npb::Kernel::kLU,
+                                   npb::Class::kS, cfg);
+  EXPECT_LT(mx.makespan, eth.makespan);
+}
+
+}  // namespace
+}  // namespace gridsim::topo

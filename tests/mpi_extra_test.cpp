@@ -1,0 +1,217 @@
+// Additional MPI engine tests: sendrecv, wait_any/test, eager threshold
+// boundary behaviour, wildcard combinations and request edge cases.
+#include <gtest/gtest.h>
+
+#include "mpi/mpi.hpp"
+#include "profiles/profiles.hpp"
+#include "simcore/simulation.hpp"
+#include "topology/grid5000.hpp"
+
+namespace gridsim::mpi {
+namespace {
+
+using namespace gridsim::literals;
+
+struct Fixture {
+  Simulation sim;
+  topo::Grid grid;
+  Job job;
+  explicit Fixture(ImplProfile p = profiles::mpich2())
+      : grid(sim, topo::GridSpec::rennes_nancy(2)),
+        job(grid, block_placement(grid, 4), std::move(p),
+            tcp::KernelTunables::grid_tuned()) {}
+};
+
+TEST(MpiExtra, SendrecvExchanges) {
+  Fixture f;
+  RecvInfo got0, got1;
+  auto body = [](Rank& r, int peer, RecvInfo* out) -> Task<void> {
+    *out = co_await r.sendrecv(peer, 1000 + r.rank(), 7, peer, 7);
+  };
+  f.sim.spawn(body(f.job.rank(0), 1, &got0));
+  f.sim.spawn(body(f.job.rank(1), 0, &got1));
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(got0.bytes, 1001);  // from rank 1
+  EXPECT_DOUBLE_EQ(got1.bytes, 1000);  // from rank 0
+}
+
+TEST(MpiExtra, WaitAnyReturnsFirstCompletion) {
+  Fixture f;
+  int first = -1;
+  f.sim.spawn([](Rank& r, int* out) -> Task<void> {
+    // Request 0: from the WAN peer (slow); request 1: local (fast).
+    Request slow = r.irecv(2, 1);
+    Request fast = r.irecv(1, 1);
+    std::vector<Request> reqs{slow, fast};
+    *out = co_await r.wait_any(reqs);
+  }(f.job.rank(0), &first));
+  f.sim.spawn([](Rank& r) -> Task<void> { co_await r.send(0, 10, 1); }(
+      f.job.rank(1)));
+  f.sim.spawn([](Rank& r) -> Task<void> { co_await r.send(0, 10, 1); }(
+      f.job.rank(2)));
+  f.sim.run();
+  EXPECT_EQ(first, 1);  // the local sender arrives first
+}
+
+TEST(MpiExtra, WaitAnyFastPathForCompletedRequest) {
+  Fixture f;
+  int idx = -1;
+  f.sim.spawn([](Rank& r, int* out) -> Task<void> {
+    Request s = r.isend(1, 100, 0);
+    co_await r.sim().delay(10_ms);  // let it complete
+    EXPECT_TRUE(Rank::test(s));
+    std::vector<Request> reqs{s};
+    *out = co_await r.wait_any(reqs);
+  }(f.job.rank(0), &idx));
+  f.sim.spawn([](Rank& r) -> Task<void> { (void)co_await r.recv(0, 0); }(
+      f.job.rank(1)));
+  f.sim.run();
+  EXPECT_EQ(idx, 0);
+}
+
+TEST(MpiExtra, WaitAnyEmptyThrows) {
+  Fixture f;
+  bool threw = false;
+  f.sim.spawn([](Rank& r, bool* out) -> Task<void> {
+    try {
+      (void)co_await r.wait_any({});
+    } catch (const std::invalid_argument&) {
+      *out = true;
+    }
+  }(f.job.rank(0), &threw));
+  f.sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(MpiExtra, TestReportsPendingThenComplete) {
+  Fixture f;
+  bool pending_seen = false, complete_seen = false;
+  f.sim.spawn([](Rank& r, bool* pending, bool* complete) -> Task<void> {
+    Request rq = r.irecv(2, 3);
+    *pending = !Rank::test(rq);
+    (void)co_await r.wait(rq);
+    *complete = Rank::test(rq);
+  }(f.job.rank(0), &pending_seen, &complete_seen));
+  f.sim.spawn([](Rank& r) -> Task<void> { co_await r.send(0, 10, 3); }(
+      f.job.rank(2)));
+  f.sim.run();
+  EXPECT_TRUE(pending_seen);
+  EXPECT_TRUE(complete_seen);
+}
+
+// --- eager threshold boundary ------------------------------------------
+
+class ThresholdBoundary : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdBoundary, ExactThresholdIsEagerAboveIsRendezvous) {
+  const double threshold = GetParam();
+  ImplProfile p = profiles::mpich2();
+  p.eager_threshold = threshold;
+  auto one_way = [&p](double bytes) {
+    Simulation sim;
+    topo::Grid grid(sim, topo::GridSpec::rennes_nancy(1));
+    Job job(grid, block_placement(grid, 2), p,
+            tcp::KernelTunables::grid_tuned());
+    SimTime done = -1;
+    sim.spawn([](Rank& r, double b) -> Task<void> {
+      co_await r.send(1, b, 0);
+    }(job.rank(0), bytes));
+    sim.spawn([](Rank& r, SimTime* t) -> Task<void> {
+      (void)co_await r.recv(0, 0);
+      *t = r.sim().now();
+    }(job.rank(1), &done));
+    sim.run();
+    return done;
+  };
+  const SimTime at = one_way(threshold);        // <=: eager
+  const SimTime above = one_way(threshold + 1);  // >: rendez-vous
+  // The rendez-vous handshake costs at least one extra WAN RTT.
+  EXPECT_GT(above - at, 11_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ThresholdBoundary,
+                         ::testing::Values(64e3, 128e3, 256e3, 1024e3));
+
+TEST(MpiExtra, AnyTagMatchesInOrder) {
+  Fixture f;
+  std::vector<int> tags;
+  f.sim.spawn([](Rank& r) -> Task<void> {
+    co_await r.send(1, 10, 42);
+    co_await r.send(1, 10, 17);
+  }(f.job.rank(0)));
+  f.sim.spawn([](Rank& r, std::vector<int>* out) -> Task<void> {
+    out->push_back((co_await r.recv(0, kAnyTag)).tag);
+    out->push_back((co_await r.recv(0, kAnyTag)).tag);
+  }(f.job.rank(1), &tags));
+  f.sim.run();
+  EXPECT_EQ(tags, (std::vector<int>{42, 17}));
+}
+
+TEST(MpiExtra, ZeroByteMessage) {
+  Fixture f;
+  RecvInfo got;
+  got.bytes = -1;
+  f.sim.spawn([](Rank& r) -> Task<void> { co_await r.send(1, 0, 0); }(
+      f.job.rank(0)));
+  f.sim.spawn([](Rank& r, RecvInfo* out) -> Task<void> {
+    *out = co_await r.recv(0, 0);
+  }(f.job.rank(1), &got));
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(got.bytes, 0);
+}
+
+TEST(MpiExtra, SendToInvalidRankThrows) {
+  Fixture f;
+  bool threw = false;
+  f.sim.spawn([](Rank& r, bool* out) -> Task<void> {
+    try {
+      co_await r.send(99, 10, 0);
+    } catch (const std::out_of_range&) {
+      *out = true;
+    }
+  }(f.job.rank(0), &threw));
+  f.sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(MpiExtra, ManyOutstandingIrecvsFillFifo) {
+  Fixture f;
+  std::vector<double> sizes;
+  f.sim.spawn([](Rank& r, std::vector<double>* out) -> Task<void> {
+    std::vector<Request> reqs;
+    for (int i = 0; i < 20; ++i) reqs.push_back(r.irecv(1, 6));
+    for (auto& rq : reqs) out->push_back((co_await r.wait(rq)).bytes);
+  }(f.job.rank(0), &sizes));
+  f.sim.spawn([](Rank& r) -> Task<void> {
+    for (int i = 0; i < 20; ++i) co_await r.send(0, 100 + i, 6);
+  }(f.job.rank(1)));
+  f.sim.run();
+  ASSERT_EQ(sizes.size(), 20u);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(sizes[static_cast<size_t>(i)], 100 + i);
+}
+
+TEST(MpiExtra, WanExtraOverheadAppliedOnWanOnly) {
+  ImplProfile p = profiles::mpich2();
+  p.wan_extra_overhead = microseconds(100);
+  Fixture base;
+  Fixture gw(p);
+  auto one_way = [](Fixture& f, int dst) {
+    SimTime done = -1;
+    f.sim.spawn([](Rank& r, int d) -> Task<void> { co_await r.send(d, 1, 0); }(
+        f.job.rank(0), dst));
+    f.sim.spawn([](Rank& r, SimTime* t) -> Task<void> {
+      (void)co_await r.recv(0, 0);
+      *t = r.sim().now();
+    }(f.job.rank(dst), &done));
+    f.sim.run();
+    return done;
+  };
+  // WAN peer: rank 2 (other site). +100 us per side = +200 us one way.
+  const SimTime wan_base = one_way(base, 2);
+  const SimTime wan_gw = one_way(gw, 2);
+  EXPECT_NEAR(static_cast<double>(wan_gw - wan_base), 200e3, 2e3);
+}
+
+}  // namespace
+}  // namespace gridsim::mpi

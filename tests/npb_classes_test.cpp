@@ -1,0 +1,84 @@
+// Cross-class NPB properties: every kernel completes at every class on a
+// small cluster, work scales monotonically with class, and traffic scales
+// with problem size.
+#include <gtest/gtest.h>
+
+#include "harness/npb_campaign.hpp"
+#include "npb/npb.hpp"
+#include "profiles/profiles.hpp"
+
+namespace gridsim::npb {
+namespace {
+
+profiles::ExperimentConfig cfg() {
+  return profiles::configure(profiles::mpich2(),
+                             profiles::TuningLevel::kTcpTuned);
+}
+
+class KernelClassSweep
+    : public ::testing::TestWithParam<std::tuple<Kernel, Class>> {};
+
+TEST_P(KernelClassSweep, CompletesOnFourRanks) {
+  const auto [kernel, cls] = GetParam();
+  const auto res = harness::run_npb(topo::GridSpec::single_cluster(4), 4,
+                                    kernel, cls, cfg());
+  EXPECT_GT(res.makespan, 0);
+  EXPECT_FALSE(res.timed_out);
+  EXPECT_GT(res.traffic.p2p_messages + res.traffic.collective_messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallClasses, KernelClassSweep,
+    ::testing::Combine(::testing::Values(Kernel::kEP, Kernel::kCG,
+                                         Kernel::kMG, Kernel::kLU,
+                                         Kernel::kSP, Kernel::kBT,
+                                         Kernel::kIS, Kernel::kFT),
+                       ::testing::Values(Class::kS, Class::kW)));
+
+TEST(NpbClasses, OpsMonotoneInClass) {
+  for (Kernel k : all_kernels()) {
+    double prev = 0;
+    for (Class c : {Class::kS, Class::kW, Class::kA, Class::kB, Class::kC}) {
+      const double ops = total_ops(k, c);
+      EXPECT_GT(ops, prev) << name(k);
+      prev = ops;
+    }
+  }
+}
+
+TEST(NpbClasses, RuntimeGrowsWithClass) {
+  const auto s = harness::run_npb(topo::GridSpec::single_cluster(4), 4,
+                                  Kernel::kMG, Class::kS, cfg());
+  const auto w = harness::run_npb(topo::GridSpec::single_cluster(4), 4,
+                                  Kernel::kMG, Class::kW, cfg());
+  EXPECT_GT(w.makespan, s.makespan);
+}
+
+TEST(NpbClasses, TrafficGrowsWithClass) {
+  const auto s = harness::run_npb(topo::GridSpec::single_cluster(4), 4,
+                                  Kernel::kCG, Class::kS, cfg());
+  const auto w = harness::run_npb(topo::GridSpec::single_cluster(4), 4,
+                                  Kernel::kCG, Class::kW, cfg());
+  EXPECT_GT(w.traffic.p2p_bytes, s.traffic.p2p_bytes);
+}
+
+TEST(NpbClasses, TimeoutReportsPartialRun) {
+  // Class B LU on 4 ranks takes ~100 virtual seconds; a 1-second budget
+  // must report a timeout with partial traffic.
+  const auto res = harness::run_npb(topo::GridSpec::single_cluster(4), 4,
+                                    Kernel::kLU, Class::kB, cfg(),
+                                    seconds(1));
+  EXPECT_TRUE(res.timed_out);
+  EXPECT_EQ(res.makespan, seconds(1));
+  EXPECT_GT(res.traffic.p2p_messages, 0u);
+}
+
+TEST(NpbClasses, GenerousTimeoutDoesNotTrigger) {
+  const auto res = harness::run_npb(topo::GridSpec::single_cluster(4), 4,
+                                    Kernel::kMG, Class::kS, cfg(),
+                                    seconds(3600));
+  EXPECT_FALSE(res.timed_out);
+}
+
+}  // namespace
+}  // namespace gridsim::npb

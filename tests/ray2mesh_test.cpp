@@ -1,0 +1,90 @@
+// Tests for the ray2mesh master/worker application model (Tables 6 and 7).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/ray2mesh.hpp"
+#include "profiles/profiles.hpp"
+
+namespace gridsim::apps {
+namespace {
+
+using profiles::TuningLevel;
+
+profiles::ExperimentConfig cfg() {
+  return profiles::configure(profiles::gridmpi(), TuningLevel::kTcpTuned);
+}
+
+/// A small config so tests run fast: 10k rays, light merge.
+Ray2MeshConfig small_app() {
+  Ray2MeshConfig a;
+  a.total_rays = 10'000;
+  a.rays_per_set = 100;
+  // Keep the compute:communication ratio of the real deployment (seconds
+  // of compute per set vs tens of ms of turnaround) so heterogeneity, not
+  // proximity, dominates the distribution — as in the paper.
+  a.ray_compute_seconds = 1e-2;
+  a.merge_traffic_bytes = 4e6;
+  a.merge_compute_seconds = 2.0;
+  a.init_write_seconds = 1.0;
+  return a;
+}
+
+TEST(Ray2Mesh, AllRaysComputedExactlyOnce) {
+  const auto res = run_ray2mesh(topo::GridSpec::ray2mesh_quad(2), 0, cfg(),
+                                small_app());
+  const int total = std::accumulate(res.rays_per_slave.begin(),
+                                    res.rays_per_slave.end(), 0);
+  EXPECT_EQ(total, 10'000);
+  EXPECT_EQ(res.rays_per_slave.size(), 8u);  // 4 sites x 2 nodes
+  const int site_total = std::accumulate(res.rays_per_site.begin(),
+                                         res.rays_per_site.end(), 0);
+  EXPECT_EQ(site_total, 10'000);
+}
+
+TEST(Ray2Mesh, PhasesAreOrdered) {
+  const auto res = run_ray2mesh(topo::GridSpec::ray2mesh_quad(2), 1, cfg(),
+                                small_app());
+  EXPECT_GT(res.compute_time, 0);
+  EXPECT_GT(res.merge_time, 0);
+  EXPECT_GT(res.total_time, res.compute_time + res.merge_time / 2);
+}
+
+TEST(Ray2Mesh, FasterClusterComputesMoreRays) {
+  // Sophia's nodes are the fastest (Table 6: ~36.5k rays vs ~29-30k).
+  const auto res = run_ray2mesh(topo::GridSpec::ray2mesh_quad(2), 0, cfg(),
+                                small_app());
+  const int rennes = res.rays_per_site[0];
+  const int nancy = res.rays_per_site[1];
+  const int sophia = res.rays_per_site[2];
+  EXPECT_GT(sophia, rennes);
+  EXPECT_GT(sophia, nancy);
+  EXPECT_GE(rennes, nancy);
+}
+
+TEST(Ray2Mesh, MasterLocationDoesNotChangeTotalsMuch) {
+  // Table 7: total time depends only weakly on the master's location.
+  SimTime totals[2];
+  for (int master = 0; master < 2; ++master) {
+    totals[master] = run_ray2mesh(topo::GridSpec::ray2mesh_quad(2), master,
+                                  cfg(), small_app())
+                         .total_time;
+  }
+  const double ratio = to_seconds(totals[0]) / to_seconds(totals[1]);
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+}
+
+TEST(Ray2Mesh, SelfSchedulingBalancesTurnaround) {
+  // Every slave computes a share within 3x of every other (self-scheduling
+  // tolerates heterogeneity but never starves anyone).
+  const auto res = run_ray2mesh(topo::GridSpec::ray2mesh_quad(2), 0, cfg(),
+                                small_app());
+  const auto [mn, mx] = std::minmax_element(res.rays_per_slave.begin(),
+                                            res.rays_per_slave.end());
+  EXPECT_GT(*mn, 0);
+  EXPECT_LT(*mx, 3 * *mn);
+}
+
+}  // namespace
+}  // namespace gridsim::apps

@@ -1,0 +1,66 @@
+// Tests for the Simri MRI-simulator application model (paper Section
+// 2.2.2): near-perfect efficiency on a cluster, communication fraction
+// shrinking with object size.
+#include <gtest/gtest.h>
+
+#include "apps/simri.hpp"
+#include "profiles/profiles.hpp"
+
+namespace gridsim::apps {
+namespace {
+
+profiles::ExperimentConfig cfg() {
+  return profiles::configure(profiles::mpich2(),
+                             profiles::TuningLevel::kDefault);
+}
+
+TEST(Simri, EightNodeClusterEfficiencyNear100Percent) {
+  // The paper: 8 nodes (master + 7 slaves), efficiency ~100% -- the
+  // computation takes seven times less than on one node.
+  const auto res =
+      run_simri(topo::GridSpec::single_cluster(8), 8, cfg(), SimriConfig{});
+  EXPECT_GT(res.efficiency, 0.95);
+  EXPECT_LE(res.efficiency, 1.01);
+  EXPECT_NEAR(res.speedup, 7.0, 0.4);
+}
+
+TEST(Simri, CommunicationFractionSmallAt256) {
+  // The paper: sync + communication only ~1.5% of total for objects of at
+  // least 256x256.
+  SimriConfig app;
+  app.object_n = 256;
+  const auto res = run_simri(topo::GridSpec::single_cluster(8), 8, cfg(), app);
+  EXPECT_LT(res.comm_fraction, 0.03);
+}
+
+TEST(Simri, CommunicationFractionGrowsForSmallObjects) {
+  SimriConfig small;
+  small.object_n = 32;
+  SimriConfig big;
+  big.object_n = 512;
+  const auto rs = run_simri(topo::GridSpec::single_cluster(8), 8, cfg(), small);
+  const auto rb = run_simri(topo::GridSpec::single_cluster(8), 8, cfg(), big);
+  EXPECT_GT(rs.comm_fraction, rb.comm_fraction);
+}
+
+TEST(Simri, ScalesAcrossNodeCounts) {
+  double prev_total = 1e300;
+  for (int nodes : {3, 5, 8}) {
+    const auto res =
+        run_simri(topo::GridSpec::single_cluster(8), nodes, cfg(),
+                  SimriConfig{});
+    EXPECT_GT(res.total_time, 0);
+    EXPECT_LT(to_seconds(res.total_time), prev_total);
+    prev_total = to_seconds(res.total_time);
+  }
+}
+
+TEST(Simri, InvalidConfigsThrow) {
+  EXPECT_THROW(run_simri(topo::GridSpec::single_cluster(8), 1, cfg()),
+               std::invalid_argument);
+  EXPECT_THROW(run_simri(topo::GridSpec::single_cluster(2), 4, cfg()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridsim::apps

@@ -1,0 +1,184 @@
+// Property-style tests of the TCP model: invariants that must hold across
+// parameter ranges (throughput bounds, monotonicity, loss behaviour,
+// Reno vs BIC, fairness between concurrent connections).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/simulation.hpp"
+#include "simnet/network.hpp"
+#include "simtcp/tcp.hpp"
+
+namespace gridsim::tcp {
+namespace {
+
+using namespace gridsim::literals;
+
+struct Path {
+  Simulation sim;
+  net::Network network{sim};
+  net::HostId a, b;
+  Path(double capacity_bps, SimTime one_way, double queue) {
+    a = network.add_host("a");
+    b = network.add_host("b");
+    const auto l = network.add_link("l", ethernet_goodput(capacity_bps),
+                                    one_way, queue);
+    network.add_route(a, b, {l});
+  }
+};
+
+double transfer_mbps(double capacity_bps, SimTime one_way, double bytes,
+                     const KernelTunables& k, SocketOptions o = {},
+                     SimTime horizon = seconds(600)) {
+  Path p(capacity_bps, one_way, 1e6);
+  TcpChannel ch(p.network, p.a, p.b, k, k, o);
+  SimTime done = -1;
+  ch.send(bytes, nullptr, [&] { done = p.sim.now(); });
+  p.sim.run_until(horizon);
+  if (done < 0) return 0;
+  return bytes * 8 / to_seconds(done) / 1e6;
+}
+
+// Throughput never exceeds min(line rate, window/RTT), for any RTT.
+class RttSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RttSweep, ThroughputRespectsWindowBound) {
+  const SimTime one_way = milliseconds(GetParam());
+  KernelTunables k;  // default: window bounded by 174760
+  const double mbps = transfer_mbps(1e9, one_way, 64e6, k);
+  ASSERT_GT(mbps, 0);
+  const double window_bound =
+      174760 * 8 / to_seconds(2 * one_way) / 1e6;
+  const double line = ethernet_goodput(1e9) * 8 / 1e6;
+  EXPECT_LE(mbps, std::min(window_bound, line) * 1.01) << "one_way ms: "
+                                                       << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Rtts, RttSweep,
+                         ::testing::Values(1, 2, 5, 10, 20, 50, 100));
+
+// Throughput is (weakly) monotone in RTT: longer paths are never faster.
+TEST(TcpProperties, ThroughputMonotoneInRtt) {
+  KernelTunables k = KernelTunables::grid_tuned();
+  double prev = 1e18;
+  for (int ms : {1, 5, 10, 25, 50}) {
+    const double mbps = transfer_mbps(1e9, milliseconds(ms), 64e6, k);
+    EXPECT_LE(mbps, prev * 1.02) << ms;
+    prev = mbps;
+  }
+}
+
+// Loss never occurs when the window cannot exceed the path BDP.
+TEST(TcpProperties, NoLossWhenWindowBelowBdp) {
+  Path p(1e9, 10_ms, 1e6);  // BDP ~ 2.35 MB
+  KernelTunables k;         // window cap 174 kB << BDP
+  TcpChannel ch(p.network, p.a, p.b, k, k, {});
+  ch.send(256e6, nullptr, nullptr);
+  p.sim.run_until(60_s);
+  EXPECT_EQ(ch.loss_events(), 0);
+}
+
+// BIC and CUBIC recover faster than Reno from the same loss pattern.
+TEST(TcpProperties, BicAndCubicFasterThanRenoOnLongPaths) {
+  auto run_algo = [](CongestionAlgo algo) {
+    KernelTunables k = KernelTunables::grid_tuned();
+    k.algo = algo;
+    return transfer_mbps(1e9, 10_ms, 512e6, k);
+  };
+  const double bic = run_algo(CongestionAlgo::kBic);
+  const double reno = run_algo(CongestionAlgo::kReno);
+  const double cubic = run_algo(CongestionAlgo::kCubic);
+  EXPECT_GE(bic, reno);
+  EXPECT_GE(cubic, reno);
+}
+
+// Two concurrent tuned connections share the bottleneck roughly fairly.
+TEST(TcpProperties, ConcurrentConnectionsShareFairly) {
+  Simulation sim;
+  net::Network n(sim);
+  const auto a1 = n.add_host("a1");
+  const auto a2 = n.add_host("a2");
+  const auto b = n.add_host("b");
+  const auto u1 = n.add_link("u1", ethernet_goodput(1e9), 100_us, 1e6);
+  const auto u2 = n.add_link("u2", ethernet_goodput(1e9), 100_us, 1e6);
+  const auto wan = n.add_link("wan", ethernet_goodput(1e9), 5_ms, 1e6);
+  n.add_route(a1, b, {u1, wan});
+  n.add_route(a2, b, {u2, wan});
+  KernelTunables k = KernelTunables::grid_tuned();
+  TcpChannel c1(n, a1, b, k, k, {});
+  TcpChannel c2(n, a2, b, k, k, {});
+  SimTime d1 = -1, d2 = -1;
+  c1.send(256e6, nullptr, [&] { d1 = sim.now(); });
+  c2.send(256e6, nullptr, [&] { d2 = sim.now(); });
+  sim.run_until(120_s);
+  ASSERT_GT(d1, 0);
+  ASSERT_GT(d2, 0);
+  // Equal transfers on symmetric paths finish within 25% of each other.
+  const double ratio = to_seconds(d1) / to_seconds(d2);
+  EXPECT_GT(ratio, 0.75);
+  EXPECT_LT(ratio, 1.33);
+}
+
+// Pacing never hurts: paced completion <= unpaced completion for bulk.
+class PacingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PacingSweep, PacingNeverSlower) {
+  const double bytes = GetParam();
+  KernelTunables k = KernelTunables::grid_tuned();
+  SocketOptions paced;
+  paced.pacing = true;
+  const double with = transfer_mbps(1e9, 5800_us, bytes, k, paced);
+  const double without = transfer_mbps(1e9, 5800_us, bytes, k, {});
+  EXPECT_GE(with, without * 0.99) << bytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PacingSweep,
+                         ::testing::Values(1e6, 16e6, 64e6, 256e6));
+
+// The bigger of two sequential sends on one channel cannot finish before
+// the smaller that was queued first (FIFO of the segment pipeline).
+TEST(TcpProperties, SegmentPipelineFifo) {
+  Path p(1e9, 5_ms, 1e6);
+  KernelTunables k = KernelTunables::grid_tuned();
+  TcpChannel ch(p.network, p.a, p.b, k, k, {});
+  std::vector<SimTime> done;
+  for (double bytes : {10e6, 1e3, 5e6})
+    ch.send(bytes, nullptr, [&] { done.push_back(p.sim.now()); });
+  p.sim.run_until(60_s);
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_LT(done[0], done[1]);
+  EXPECT_LT(done[1], done[2]);
+}
+
+// Window accessor consistency: window() == min(cwnd, sndbuf, rcvbuf).
+TEST(TcpProperties, WindowAccessorConsistent) {
+  Path p(1e9, 5_ms, 1e6);
+  KernelTunables k;
+  SocketOptions o;
+  o.sndbuf = 60e3;
+  o.rcvbuf = 80e3;
+  TcpChannel ch(p.network, p.a, p.b, k, k, o);
+  EXPECT_DOUBLE_EQ(ch.window(),
+                   std::min({ch.cwnd(), ch.effective_sndbuf(),
+                             ch.effective_rcvbuf()}));
+  ch.send(64e6, nullptr, nullptr);
+  p.sim.run_until(10_s);
+  EXPECT_LE(ch.window(), 60e3);  // clamped to the smaller buffer
+}
+
+// Delivered byte accounting matches what was sent.
+TEST(TcpProperties, DeliveredBytesAccounting) {
+  Path p(1e9, 1_ms, 1e6);
+  KernelTunables k = KernelTunables::grid_tuned();
+  TcpChannel ch(p.network, p.a, p.b, k, k, {});
+  double sent = 0;
+  for (double b : {1e3, 2e6, 512.0, 8e6}) {
+    sent += b;
+    ch.send(b, nullptr, [] {});
+  }
+  p.sim.run();
+  EXPECT_NEAR(ch.bytes_delivered(), sent, 1.0);
+}
+
+}  // namespace
+}  // namespace gridsim::tcp

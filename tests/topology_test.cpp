@@ -1,0 +1,121 @@
+// Tests for the Grid'5000 topology builder.
+#include <gtest/gtest.h>
+
+#include "simcore/simulation.hpp"
+#include "topology/grid5000.hpp"
+
+namespace gridsim::topo {
+namespace {
+
+using namespace gridsim::literals;
+
+TEST(Grid5000, RennesNancyShape) {
+  Simulation sim;
+  Grid grid(sim, GridSpec::rennes_nancy(8));
+  EXPECT_EQ(grid.site_count(), 2);
+  EXPECT_EQ(grid.nodes_at(0), 8);
+  EXPECT_EQ(grid.total_nodes(), 16);
+  EXPECT_EQ(grid.site_of(grid.node(0, 3)), 0);
+  EXPECT_EQ(grid.site_of(grid.node(1, 7)), 1);
+}
+
+TEST(Grid5000, IntraClusterLatencyBudget) {
+  Simulation sim;
+  Grid grid(sim, GridSpec::rennes_nancy(2));
+  // Two NIC hops of 17.5 us: the 41 us of Table 4 minus 2 x 3 us stack.
+  EXPECT_EQ(grid.network().path_latency(grid.node(0, 0), grid.node(0, 1)),
+            35_us);
+  EXPECT_EQ(grid.rtt(grid.node(0, 0), grid.node(0, 1)), 70_us);
+}
+
+TEST(Grid5000, InterClusterRttMatchesSpec) {
+  Simulation sim;
+  Grid grid(sim, GridSpec::rennes_nancy(2));
+  const SimTime rtt = grid.rtt(grid.node(0, 0), grid.node(1, 0));
+  EXPECT_EQ(rtt, from_seconds(11.6e-3));
+}
+
+TEST(Grid5000, PathCapacityIsNicBound) {
+  Simulation sim;
+  Grid grid(sim, GridSpec::rennes_nancy(2));
+  const double cap = grid.network().path_capacity(grid.node(0, 0),
+                                                  grid.node(1, 0));
+  EXPECT_NEAR(cap * 8 / 1e6, 941.5, 1.0);  // 1 GbE goodput despite 10G WAN
+}
+
+TEST(Grid5000, LoopbackRouteExists) {
+  Simulation sim;
+  Grid grid(sim, GridSpec::rennes_nancy(2));
+  const auto h = grid.node(0, 0);
+  EXPECT_TRUE(grid.network().has_route(h, h));
+  EXPECT_LE(grid.network().path_latency(h, h), 10_us);
+}
+
+TEST(Grid5000, AllPairsRouted) {
+  Simulation sim;
+  Grid grid(sim, GridSpec::ray2mesh_quad(4));
+  for (int a = 0; a < grid.total_nodes(); ++a)
+    for (int b = 0; b < grid.total_nodes(); ++b)
+      EXPECT_TRUE(grid.network().has_route(a, b))
+          << "missing route " << a << "->" << b;
+}
+
+TEST(Grid5000, QuadRttsHonourPaperValues) {
+  Simulation sim;
+  Grid grid(sim, GridSpec::ray2mesh_quad(1));
+  // Rennes-Nancy 11.6 ms, Sophia-Toulouse 19.9 ms.
+  EXPECT_EQ(grid.rtt(grid.node(0, 0), grid.node(1, 0)),
+            from_seconds(11.6e-3));
+  EXPECT_EQ(grid.rtt(grid.node(2, 0), grid.node(3, 0)),
+            from_seconds(19.9e-3));
+}
+
+TEST(Grid5000, CpuSpeedOrdering) {
+  Simulation sim;
+  Grid grid(sim, GridSpec::ray2mesh_quad(1));
+  const double rennes = grid.cpu_speed(grid.node(0, 0));
+  const double nancy = grid.cpu_speed(grid.node(1, 0));
+  const double sophia = grid.cpu_speed(grid.node(2, 0));
+  const double toulouse = grid.cpu_speed(grid.node(3, 0));
+  // Paper: Nancy < Rennes, Toulouse < Sophia.
+  EXPECT_LT(nancy, rennes);
+  EXPECT_LT(nancy, toulouse);
+  EXPECT_GT(sophia, rennes);
+  EXPECT_GT(sophia, toulouse);
+}
+
+TEST(Grid5000, SingleClusterHasNoWan) {
+  Simulation sim;
+  Grid grid(sim, GridSpec::single_cluster(16));
+  EXPECT_EQ(grid.site_count(), 1);
+  EXPECT_EQ(grid.total_nodes(), 16);
+  EXPECT_EQ(grid.rtt(grid.node(0, 0), grid.node(0, 15)), 70_us);
+}
+
+TEST(Grid5000, InvalidSpecsThrow) {
+  Simulation sim;
+  GridSpec bad = GridSpec::rennes_nancy(2);
+  bad.rtt_ms = {{0.0}};
+  EXPECT_THROW(Grid(sim, bad), std::invalid_argument);
+  GridSpec zero_nodes = GridSpec::single_cluster(0);
+  EXPECT_THROW(Grid(sim, zero_nodes), std::invalid_argument);
+}
+
+TEST(Grid5000, WanContentionAtUplink) {
+  // Eight concurrent node pairs Rennes->Nancy share the 10G uplink: each
+  // still gets its full NIC rate (8 x 1G < 10G). With a 1G uplink
+  // (Toulouse) they would contend.
+  Simulation sim;
+  Grid grid(sim, GridSpec::rennes_nancy(8));
+  auto& net = grid.network();
+  std::vector<net::FlowId> flows;
+  for (int i = 0; i < 8; ++i)
+    flows.push_back(net.start_flow(grid.node(0, i), grid.node(1, i), 1e9,
+                                   net::kUnlimitedRate, nullptr));
+  for (auto f : flows) {
+    EXPECT_NEAR(net.flow_info(f).rate, tcp::ethernet_goodput(1e9), 1e4);
+  }
+}
+
+}  // namespace
+}  // namespace gridsim::topo
