@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_heterogeneity.cpp" "bench/CMakeFiles/bench_ablation_heterogeneity.dir/bench_ablation_heterogeneity.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_heterogeneity.dir/bench_ablation_heterogeneity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gridsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiles/CMakeFiles/gridsim_profiles.dir/DependInfo.cmake"
+  "/root/repo/build/src/npb/CMakeFiles/gridsim_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/gridsim_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/gridsim_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gridsim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtcp/CMakeFiles/gridsim_simtcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/gridsim_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/gridsim_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

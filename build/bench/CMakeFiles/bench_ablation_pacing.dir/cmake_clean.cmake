@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pacing.dir/bench_ablation_pacing.cpp.o"
+  "CMakeFiles/bench_ablation_pacing.dir/bench_ablation_pacing.cpp.o.d"
+  "bench_ablation_pacing"
+  "bench_ablation_pacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tcp_algo.dir/bench_ablation_tcp_algo.cpp.o"
+  "CMakeFiles/bench_ablation_tcp_algo.dir/bench_ablation_tcp_algo.cpp.o.d"
+  "bench_ablation_tcp_algo"
+  "bench_ablation_tcp_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tcp_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

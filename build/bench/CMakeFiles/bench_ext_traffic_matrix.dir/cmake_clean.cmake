@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_traffic_matrix.dir/bench_ext_traffic_matrix.cpp.o"
+  "CMakeFiles/bench_ext_traffic_matrix.dir/bench_ext_traffic_matrix.cpp.o.d"
+  "bench_ext_traffic_matrix"
+  "bench_ext_traffic_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_traffic_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_grid_vs_cluster4.dir/bench_fig13_grid_vs_cluster4.cpp.o"
+  "CMakeFiles/bench_fig13_grid_vs_cluster4.dir/bench_fig13_grid_vs_cluster4.cpp.o.d"
+  "bench_fig13_grid_vs_cluster4"
+  "bench_fig13_grid_vs_cluster4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_grid_vs_cluster4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

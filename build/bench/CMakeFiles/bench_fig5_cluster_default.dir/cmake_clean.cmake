@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cluster_default.dir/bench_fig5_cluster_default.cpp.o"
+  "CMakeFiles/bench_fig5_cluster_default.dir/bench_fig5_cluster_default.cpp.o.d"
+  "bench_fig5_cluster_default"
+  "bench_fig5_cluster_default.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cluster_default.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_grid_tcp_tuned.dir/bench_fig6_grid_tcp_tuned.cpp.o"
+  "CMakeFiles/bench_fig6_grid_tcp_tuned.dir/bench_fig6_grid_tcp_tuned.cpp.o.d"
+  "bench_fig6_grid_tcp_tuned"
+  "bench_fig6_grid_tcp_tuned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_grid_tcp_tuned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

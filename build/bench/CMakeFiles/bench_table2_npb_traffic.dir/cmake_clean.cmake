@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_npb_traffic.dir/bench_table2_npb_traffic.cpp.o"
+  "CMakeFiles/bench_table2_npb_traffic.dir/bench_table2_npb_traffic.cpp.o.d"
+  "bench_table2_npb_traffic"
+  "bench_table2_npb_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_npb_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

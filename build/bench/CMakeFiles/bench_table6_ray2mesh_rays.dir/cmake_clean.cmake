@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_ray2mesh_rays.dir/bench_table6_ray2mesh_rays.cpp.o"
+  "CMakeFiles/bench_table6_ray2mesh_rays.dir/bench_table6_ray2mesh_rays.cpp.o.d"
+  "bench_table6_ray2mesh_rays"
+  "bench_table6_ray2mesh_rays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_ray2mesh_rays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_on_grid.dir/nas_on_grid.cpp.o"
+  "CMakeFiles/nas_on_grid.dir/nas_on_grid.cpp.o.d"
+  "nas_on_grid"
+  "nas_on_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_on_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nine_sites.dir/nine_sites.cpp.o"
+  "CMakeFiles/nine_sites.dir/nine_sites.cpp.o.d"
+  "nine_sites"
+  "nine_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nine_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

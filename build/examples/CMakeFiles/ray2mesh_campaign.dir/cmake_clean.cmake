@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray2mesh_campaign.dir/ray2mesh_campaign.cpp.o"
+  "CMakeFiles/ray2mesh_campaign.dir/ray2mesh_campaign.cpp.o.d"
+  "ray2mesh_campaign"
+  "ray2mesh_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray2mesh_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

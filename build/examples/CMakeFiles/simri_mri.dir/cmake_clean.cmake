@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simri_mri.dir/simri_mri.cpp.o"
+  "CMakeFiles/simri_mri.dir/simri_mri.cpp.o.d"
+  "simri_mri"
+  "simri_mri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simri_mri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

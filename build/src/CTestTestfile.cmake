@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("simcore")
+subdirs("simnet")
+subdirs("simtcp")
+subdirs("topology")
+subdirs("mpi")
+subdirs("collectives")
+subdirs("profiles")
+subdirs("harness")
+subdirs("npb")
+subdirs("apps")
+subdirs("tools")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsim_apps.dir/ray2mesh.cpp.o"
+  "CMakeFiles/gridsim_apps.dir/ray2mesh.cpp.o.d"
+  "CMakeFiles/gridsim_apps.dir/simri.cpp.o"
+  "CMakeFiles/gridsim_apps.dir/simri.cpp.o.d"
+  "libgridsim_apps.a"
+  "libgridsim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsim_collectives.dir/collectives.cpp.o"
+  "CMakeFiles/gridsim_collectives.dir/collectives.cpp.o.d"
+  "libgridsim_collectives.a"
+  "libgridsim_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsim_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsim_harness.dir/npb_campaign.cpp.o"
+  "CMakeFiles/gridsim_harness.dir/npb_campaign.cpp.o.d"
+  "CMakeFiles/gridsim_harness.dir/pingpong.cpp.o"
+  "CMakeFiles/gridsim_harness.dir/pingpong.cpp.o.d"
+  "CMakeFiles/gridsim_harness.dir/replay.cpp.o"
+  "CMakeFiles/gridsim_harness.dir/replay.cpp.o.d"
+  "CMakeFiles/gridsim_harness.dir/report.cpp.o"
+  "CMakeFiles/gridsim_harness.dir/report.cpp.o.d"
+  "libgridsim_harness.a"
+  "libgridsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgridsim_harness.a"
+)

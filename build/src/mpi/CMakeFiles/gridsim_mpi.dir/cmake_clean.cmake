@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsim_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/gridsim_mpi.dir/mpi.cpp.o.d"
+  "libgridsim_mpi.a"
+  "libgridsim_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsim_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

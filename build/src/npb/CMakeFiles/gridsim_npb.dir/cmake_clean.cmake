@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsim_npb.dir/npb.cpp.o"
+  "CMakeFiles/gridsim_npb.dir/npb.cpp.o.d"
+  "libgridsim_npb.a"
+  "libgridsim_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsim_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

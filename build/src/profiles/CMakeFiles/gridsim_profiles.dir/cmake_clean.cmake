@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsim_profiles.dir/profiles.cpp.o"
+  "CMakeFiles/gridsim_profiles.dir/profiles.cpp.o.d"
+  "libgridsim_profiles.a"
+  "libgridsim_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsim_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

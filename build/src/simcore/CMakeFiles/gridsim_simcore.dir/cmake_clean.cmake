@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsim_simcore.dir/event_queue.cpp.o"
+  "CMakeFiles/gridsim_simcore.dir/event_queue.cpp.o.d"
+  "CMakeFiles/gridsim_simcore.dir/simulation.cpp.o"
+  "CMakeFiles/gridsim_simcore.dir/simulation.cpp.o.d"
+  "CMakeFiles/gridsim_simcore.dir/time.cpp.o"
+  "CMakeFiles/gridsim_simcore.dir/time.cpp.o.d"
+  "CMakeFiles/gridsim_simcore.dir/trace.cpp.o"
+  "CMakeFiles/gridsim_simcore.dir/trace.cpp.o.d"
+  "libgridsim_simcore.a"
+  "libgridsim_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsim_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

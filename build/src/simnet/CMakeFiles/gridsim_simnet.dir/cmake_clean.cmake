@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsim_simnet.dir/network.cpp.o"
+  "CMakeFiles/gridsim_simnet.dir/network.cpp.o.d"
+  "libgridsim_simnet.a"
+  "libgridsim_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsim_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

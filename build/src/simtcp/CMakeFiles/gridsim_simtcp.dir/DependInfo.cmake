@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simtcp/packet_sim.cpp" "src/simtcp/CMakeFiles/gridsim_simtcp.dir/packet_sim.cpp.o" "gcc" "src/simtcp/CMakeFiles/gridsim_simtcp.dir/packet_sim.cpp.o.d"
+  "/root/repo/src/simtcp/tcp.cpp" "src/simtcp/CMakeFiles/gridsim_simtcp.dir/tcp.cpp.o" "gcc" "src/simtcp/CMakeFiles/gridsim_simtcp.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/gridsim_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/gridsim_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

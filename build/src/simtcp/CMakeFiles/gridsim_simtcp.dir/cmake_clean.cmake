@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsim_simtcp.dir/packet_sim.cpp.o"
+  "CMakeFiles/gridsim_simtcp.dir/packet_sim.cpp.o.d"
+  "CMakeFiles/gridsim_simtcp.dir/tcp.cpp.o"
+  "CMakeFiles/gridsim_simtcp.dir/tcp.cpp.o.d"
+  "libgridsim_simtcp.a"
+  "libgridsim_simtcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsim_simtcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

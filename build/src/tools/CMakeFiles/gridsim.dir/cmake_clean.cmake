@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsim.dir/gridsim_cli.cpp.o"
+  "CMakeFiles/gridsim.dir/gridsim_cli.cpp.o.d"
+  "gridsim"
+  "gridsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsim_topology.dir/grid5000.cpp.o"
+  "CMakeFiles/gridsim_topology.dir/grid5000.cpp.o.d"
+  "libgridsim_topology.a"
+  "libgridsim_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsim_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degradation_test.dir/degradation_test.cpp.o"
+  "CMakeFiles/degradation_test.dir/degradation_test.cpp.o.d"
+  "degradation_test"
+  "degradation_test.pdb"
+  "degradation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degradation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

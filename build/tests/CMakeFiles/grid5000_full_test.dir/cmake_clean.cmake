@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid5000_full_test.dir/grid5000_full_test.cpp.o"
+  "CMakeFiles/grid5000_full_test.dir/grid5000_full_test.cpp.o.d"
+  "grid5000_full_test"
+  "grid5000_full_test.pdb"
+  "grid5000_full_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid5000_full_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneity_test.dir/heterogeneity_test.cpp.o"
+  "CMakeFiles/heterogeneity_test.dir/heterogeneity_test.cpp.o.d"
+  "heterogeneity_test"
+  "heterogeneity_test.pdb"
+  "heterogeneity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

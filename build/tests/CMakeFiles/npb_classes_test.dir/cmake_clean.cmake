@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_classes_test.dir/npb_classes_test.cpp.o"
+  "CMakeFiles/npb_classes_test.dir/npb_classes_test.cpp.o.d"
+  "npb_classes_test"
+  "npb_classes_test.pdb"
+  "npb_classes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_classes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_bruck_test.dir/probe_bruck_test.cpp.o"
+  "CMakeFiles/probe_bruck_test.dir/probe_bruck_test.cpp.o.d"
+  "probe_bruck_test"
+  "probe_bruck_test.pdb"
+  "probe_bruck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_bruck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray2mesh_test.dir/ray2mesh_test.cpp.o"
+  "CMakeFiles/ray2mesh_test.dir/ray2mesh_test.cpp.o.d"
+  "ray2mesh_test"
+  "ray2mesh_test.pdb"
+  "ray2mesh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray2mesh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simri_test.dir/simri_test.cpp.o"
+  "CMakeFiles/simri_test.dir/simri_test.cpp.o.d"
+  "simri_test"
+  "simri_test.pdb"
+  "simri_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simri_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

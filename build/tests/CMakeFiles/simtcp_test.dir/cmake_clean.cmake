@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtcp_test.dir/simtcp_test.cpp.o"
+  "CMakeFiles/simtcp_test.dir/simtcp_test.cpp.o.d"
+  "simtcp_test"
+  "simtcp_test.pdb"
+  "simtcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striping_test.dir/striping_test.cpp.o"
+  "CMakeFiles/striping_test.dir/striping_test.cpp.o.d"
+  "striping_test"
+  "striping_test.pdb"
+  "striping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simcore_test[1]_include.cmake")
+include("/root/repo/build/tests/simnet_test[1]_include.cmake")
+include("/root/repo/build/tests/simtcp_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/profiles_test[1]_include.cmake")
+include("/root/repo/build/tests/npb_test[1]_include.cmake")
+include("/root/repo/build/tests/ray2mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/simri_test[1]_include.cmake")
+include("/root/repo/build/tests/striping_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/heterogeneity_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_test[1]_include.cmake")
+include("/root/repo/build/tests/degradation_test[1]_include.cmake")
+include("/root/repo/build/tests/grid5000_full_test[1]_include.cmake")
+include("/root/repo/build/tests/packet_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/npb_classes_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/probe_bruck_test[1]_include.cmake")
