@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Determinism audit driver: runs every auditable scenario twice with the
+# same seed through `gridsim audit` and fails on any digest divergence.
+#
+# Usage: scripts/check_determinism.sh [path/to/gridsim] [seed]
+#   GRIDSIM_CLI overrides the default binary location (build/src/tools/gridsim).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLI="${1:-${GRIDSIM_CLI:-build/src/tools/gridsim}}"
+SEED="${2:-1}"
+
+if [[ ! -x "$CLI" ]]; then
+  echo "check_determinism: gridsim binary not found at '$CLI'" >&2
+  echo "build it first: cmake --preset release && cmake --build --preset release" >&2
+  exit 2
+fi
+
+"$CLI" audit --scenario all --seed "$SEED"
+echo "check_determinism: all scenarios deterministic (seed $SEED)"

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "profiles/profiles.hpp"
+#include "simcore/simulation.hpp"
 #include "simcore/time.hpp"
 #include "topology/grid5000.hpp"
 
@@ -46,6 +47,7 @@ struct Ray2MeshResult {
 /// master co-located on node 0 of `master_site`).
 Ray2MeshResult run_ray2mesh(const topo::GridSpec& spec, int master_site,
                             const profiles::ExperimentConfig& cfg,
-                            const Ray2MeshConfig& app = {});
+                            const Ray2MeshConfig& app = {},
+                            const SimHooks& hooks = {});
 
 }  // namespace gridsim::apps

@@ -19,9 +19,10 @@ Task<void> timed_kernel(mpi::Rank* r, npb::Kernel k, npb::Class c,
 
 NpbRunResult run_npb(const topo::GridSpec& spec, int nranks, npb::Kernel k,
                      npb::Class c, const profiles::ExperimentConfig& cfg,
-                     SimTime timeout) {
+                     SimTime timeout, const SimHooks& hooks) {
   npb::validate_ranks(k, nranks);
   Simulation sim;
+  if (hooks.on_start) hooks.on_start(sim);
   topo::Grid grid(sim, spec);
   mpi::Job job(grid, mpi::block_placement(grid, nranks), cfg.profile,
                cfg.kernel);
@@ -43,6 +44,7 @@ NpbRunResult run_npb(const topo::GridSpec& spec, int nranks, npb::Kernel k,
                         ? (timeout > 0 ? timeout : sim.now())
                         : *std::max_element(finish.begin(), finish.end());
   result.traffic = job.traffic();
+  if (hooks.on_finish) hooks.on_finish(sim);
   return result;
 }
 

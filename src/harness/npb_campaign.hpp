@@ -21,6 +21,6 @@ struct NpbRunResult {
 /// makespan = timeout.
 NpbRunResult run_npb(const topo::GridSpec& spec, int nranks, npb::Kernel k,
                      npb::Class c, const profiles::ExperimentConfig& cfg,
-                     SimTime timeout = 0);
+                     SimTime timeout = 0, const SimHooks& hooks = {});
 
 }  // namespace gridsim::harness

@@ -62,8 +62,10 @@ std::vector<double> pow2_sizes(double from, double to) {
 std::vector<PingpongPoint> pingpong_sweep(const topo::GridSpec& spec,
                                           const PingpongEndpoints& ends,
                                           const profiles::ExperimentConfig& cfg,
-                                          const PingpongOptions& options) {
+                                          const PingpongOptions& options,
+                                          const SimHooks& hooks) {
   Simulation sim;
+  if (hooks.on_start) hooks.on_start(sim);
   topo::Grid grid(sim, spec);
   mpi::Job job(grid, endpoint_placement(grid, ends), cfg.profile, cfg.kernel);
   SweepState state;
@@ -71,6 +73,7 @@ std::vector<PingpongPoint> pingpong_sweep(const topo::GridSpec& spec,
   sim.spawn(ping_side(job.rank(0), &state));
   sim.spawn(pong_side(job.rank(1), &options));
   sim.run();
+  if (hooks.on_finish) hooks.on_finish(sim);
   return std::move(state.points);
 }
 
@@ -137,6 +140,12 @@ std::vector<SlowstartSample> slowstart_series(
     const CrossTraffic& cross) {
   Simulation sim;
   topo::Grid grid(sim, spec);
+  // Validate before spawning anything: a throw after spawn() would abandon
+  // the suspended process frames (they only run and self-destroy once
+  // sim.run() drains the queue).
+  if (cross.burst_bytes > 0 &&
+      (grid.nodes_at(ends.site_a) < 2 || grid.nodes_at(ends.site_b) < 2))
+    throw std::invalid_argument("cross traffic needs 2 nodes per site");
   mpi::Job job(grid, endpoint_placement(grid, ends), cfg.profile, cfg.kernel);
   SeriesState state;
   state.bytes = bytes;
@@ -148,8 +157,6 @@ std::vector<SlowstartSample> slowstart_series(
   if (cross.burst_bytes > 0) {
     // The cross flow uses the next node of each site so it shares the WAN
     // uplinks but not the experiment NICs.
-    if (grid.nodes_at(ends.site_a) < 2 || grid.nodes_at(ends.site_b) < 2)
-      throw std::invalid_argument("cross traffic needs 2 nodes per site");
     tcp::SocketOptions opts;  // plain bulk TCP, auto-tuned
     cross_channel = std::make_unique<tcp::TcpChannel>(
         grid.network(), grid.node(ends.site_a, ends.node_a + 1),

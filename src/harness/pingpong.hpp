@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "profiles/profiles.hpp"
+#include "simcore/simulation.hpp"
 #include "simcore/time.hpp"
 #include "topology/grid5000.hpp"
 
@@ -40,7 +41,8 @@ std::vector<double> pow2_sizes(double from, double to);
 std::vector<PingpongPoint> pingpong_sweep(const topo::GridSpec& spec,
                                           const PingpongEndpoints& ends,
                                           const profiles::ExperimentConfig& cfg,
-                                          const PingpongOptions& options);
+                                          const PingpongOptions& options,
+                                          const SimHooks& hooks = {});
 
 /// Minimum one-way latency for a 1-byte message (Table 4).
 SimTime pingpong_min_latency(const topo::GridSpec& spec,

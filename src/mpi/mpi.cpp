@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simcore/check.hpp"
+
 namespace gridsim::mpi {
 
 // ---------------------------------------------------------------------------
@@ -33,6 +35,11 @@ SimTime Rank::copy_time(double bytes) const {
 
 Task<void> Rank::send(int dst, double bytes, int tag) {
   if (dst < 0 || dst >= size()) throw std::out_of_range("bad destination");
+  GRIDSIM_CHECK(tag >= 0, "Rank::send: negative tag %d (rank %d -> %d)", tag,
+                rank_, dst);
+  GRIDSIM_CHECK(bytes >= 0 && std::isfinite(bytes),
+                "Rank::send: bad byte count %g (rank %d -> %d)", bytes, rank_,
+                dst);
   const ImplProfile& p = job_->profile();
   job_->record_payload(rank_, dst, bytes, tag);
   co_await sim().delay(side_overhead(p.send_overhead, dst));
@@ -89,6 +96,9 @@ Task<void> Rank::send(int dst, double bytes, int tag) {
 }
 
 Task<RecvInfo> Rank::recv(int src, int tag) {
+  GRIDSIM_CHECK(src == kAnySource || (src >= 0 && src < size()),
+                "Rank::recv: bad source rank %d (job size %d)", src, size());
+  GRIDSIM_CHECK(tag == kAnyTag || tag >= 0, "Rank::recv: bad tag %d", tag);
   const ImplProfile& p = job_->profile();
   MsgMeta meta;
   bool unexpected = false;
@@ -132,6 +142,12 @@ Task<RecvInfo> Rank::recv(int src, int tag) {
 }
 
 void Rank::on_arrival(const MsgMeta& meta) {
+  GRIDSIM_CHECK(meta.src_rank >= 0 && meta.src_rank < size(),
+                "rank %d: arrival from invalid rank %d (job size %d)", rank_,
+                meta.src_rank, size());
+  GRIDSIM_DCHECK(meta.dst_rank == rank_,
+                 "rank %d: arrival addressed to rank %d", rank_,
+                 meta.dst_rank);
   switch (meta.kind) {
     case MsgKind::kEager:
     case MsgKind::kRndvRts: {
@@ -159,13 +175,17 @@ void Rank::on_arrival(const MsgMeta& meta) {
     }
     case MsgKind::kRndvCts: {
       auto it = cts_waiters_.find(meta.seq);
-      assert(it != cts_waiters_.end());
+      GRIDSIM_CHECK(it != cts_waiters_.end(),
+                    "rank %d: CTS for unknown rendez-vous seq %llu", rank_,
+                    static_cast<unsigned long long>(meta.seq));
       it->second->fire();
       break;
     }
     case MsgKind::kRndvData: {
       auto it = data_waiters_.find(meta.seq);
-      assert(it != data_waiters_.end());
+      GRIDSIM_CHECK(it != data_waiters_.end(),
+                    "rank %d: payload for unknown rendez-vous seq %llu",
+                    rank_, static_cast<unsigned long long>(meta.seq));
       *it->second.slot = meta;
       it->second.done->fire();
       break;

@@ -1,0 +1,88 @@
+#include "simcore/check.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace gridsim::detail {
+
+namespace {
+
+struct ContextEntry {
+  const void* self;
+  CheckContextFn fn;
+};
+
+// The engine is single-threaded by design; a plain static is enough. A
+// function-local static avoids initialisation-order issues for checks that
+// fire during static construction.
+std::vector<ContextEntry>& context_stack() {
+  static std::vector<ContextEntry> stack;
+  return stack;
+}
+
+}  // namespace
+
+void install_check_context(const void* self, CheckContextFn fn) {
+  context_stack().push_back(ContextEntry{self, fn});
+}
+
+void uninstall_check_context(const void* self) {
+  auto& stack = context_stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->self == self) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+namespace {
+
+[[noreturn]] void check_failed_impl(const char* file, int line,
+                                    const char* expr, const char* message);
+
+}  // namespace
+
+void check_failed(const char* file, int line, const char* expr) {
+  check_failed_impl(file, line, expr, nullptr);
+}
+
+void check_failed(const char* file, int line, const char* expr,
+                  const char* fmt, ...) {
+  char message[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(message, sizeof(message), fmt, args);
+  va_end(args);
+  check_failed_impl(file, line, expr, message);
+}
+
+namespace {
+
+void check_failed_impl(const char* file, int line, const char* expr,
+                       const char* message) {
+  std::fprintf(stderr, "\n*** GRIDSIM_CHECK failed: %s\n***   at %s:%d\n",
+               expr, file, line);
+  if (message != nullptr && message[0] != '\0') {
+    std::fprintf(stderr, "***   %s\n", message);
+  }
+  const auto& stack = context_stack();
+  if (!stack.empty()) {
+    const ContextEntry& top = stack.back();
+    const CheckContext ctx = top.fn(top.self);
+    std::fprintf(stderr,
+                 "***   sim-time=%lld ns (%.9f s), live-processes=%d, "
+                 "event-queue-depth=%zu\n",
+                 static_cast<long long>(ctx.sim_time_ns),
+                 static_cast<double>(ctx.sim_time_ns) * 1e-9,
+                 ctx.live_processes, ctx.queue_depth);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+}  // namespace gridsim::detail

@@ -1,11 +1,15 @@
 #include "simcore/event_queue.hpp"
 
-#include <cassert>
+#include "simcore/check.hpp"
 
 namespace gridsim {
 
 void EventQueue::schedule(SimTime t, std::function<void()> fn) {
-  assert(fn);
+  GRIDSIM_CHECK(fn != nullptr, "EventQueue::schedule: null callback");
+  GRIDSIM_CHECK(t >= floor_,
+                "EventQueue::schedule: time travels backwards (t=%lld ns, "
+                "last executed event at %lld ns)",
+                static_cast<long long>(t), static_cast<long long>(floor_));
   heap_.push(Entry{t, next_seq_++, std::move(fn)});
 }
 
@@ -14,13 +18,14 @@ SimTime EventQueue::next_time() const {
 }
 
 SimTime EventQueue::run_next() {
-  assert(!heap_.empty());
+  GRIDSIM_CHECK(!heap_.empty(), "EventQueue::run_next on an empty queue");
   // Move the callback out before popping; the const_cast is safe because the
   // entry is removed before anything can observe the moved-from state.
   auto& top = const_cast<Entry&>(heap_.top());
   const SimTime t = top.time;
   std::function<void()> fn = std::move(top.fn);
   heap_.pop();
+  floor_ = t;
   fn();
   return t;
 }

@@ -34,6 +34,10 @@ class EventQueue {
   /// Precondition: !empty().
   SimTime run_next();
 
+  /// Timestamp of the most recently executed event. No later schedule()
+  /// may target an earlier time — the engine's time-monotonicity floor.
+  SimTime floor() const { return floor_; }
+
  private:
   struct Entry {
     SimTime time;
@@ -49,6 +53,7 @@ class EventQueue {
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+  SimTime floor_ = 0;
 };
 
 }  // namespace gridsim

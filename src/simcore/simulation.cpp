@@ -42,6 +42,17 @@ Detached drive_impl(Task<void> user, int* live_counter) {
 
 }  // namespace
 
+Simulation::Simulation() {
+  detail::install_check_context(this, &Simulation::check_context_of);
+}
+
+Simulation::~Simulation() { detail::uninstall_check_context(this); }
+
+CheckContext Simulation::check_context_of(const void* self) {
+  const auto* sim = static_cast<const Simulation*>(self);
+  return CheckContext{sim->now_, sim->live_processes_, sim->queue_.size()};
+}
+
 void Simulation::at(SimTime t, std::function<void()> fn) {
   if (t < now_) throw std::logic_error("Simulation::at: time in the past");
   queue_.schedule(t, std::move(fn));

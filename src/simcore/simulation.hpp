@@ -11,6 +11,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "simcore/check.hpp"
 #include "simcore/event_queue.hpp"
 #include "simcore/task.hpp"
 #include "simcore/time.hpp"
@@ -20,7 +21,11 @@ namespace gridsim {
 
 class Simulation {
  public:
-  Simulation() = default;
+  /// Registers this engine with the GRIDSIM_CHECK diagnostic context, so a
+  /// failed invariant anywhere in the process reports sim-time, live-process
+  /// count and event-queue depth.
+  Simulation();
+  ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -71,12 +76,24 @@ class Simulation {
  private:
   struct SpawnState;  // keeps the root task alive until it completes
   static Task<void> drive(Simulation& sim, std::shared_ptr<SpawnState> state);
+  static CheckContext check_context_of(const void* self);
 
   SimTime now_ = 0;
   EventQueue queue_;
   int live_processes_ = 0;
   std::uint64_t events_processed_ = 0;
   Tracer tracer_;
+};
+
+/// Optional observation hooks for harness-owned simulations. Scenario
+/// runners that construct their Simulation internally call `on_start` right
+/// after the engine is built (before any process is spawned) and `on_finish`
+/// once the event loop has drained, while the engine is still alive. The
+/// determinism auditor uses them to enable tracing and hash the event trace
+/// without the runners leaking their engine.
+struct SimHooks {
+  std::function<void(Simulation&)> on_start;
+  std::function<void(Simulation&)> on_finish;
 };
 
 }  // namespace gridsim

@@ -7,14 +7,27 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "simcore/check.hpp"
 #include "simcore/simulation.hpp"
 
 namespace gridsim {
+
+namespace detail {
+// Liveness canary for synchronisation primitives. Coroutine code is the
+// classic habitat of use-after-destroy bugs: a callback captures `&trigger`,
+// the owning coroutine finishes and pops its frame, then the callback fires
+// into freed memory. ASan catches that with poisoned heap; the canary
+// catches most of it in every build. Debug/sanitizer builds verify it via
+// GRIDSIM_DCHECK.
+inline constexpr std::uint32_t kAliveCanary = 0xA11FE5A5u;
+inline constexpr std::uint32_t kDeadCanary = 0xDEADDEADu;
+}  // namespace detail
 
 /// One-shot broadcast event: any number of waiters, released when fire()d.
 /// Waiting on an already-fired trigger completes immediately.
@@ -23,10 +36,19 @@ class Trigger {
   explicit Trigger(Simulation& sim) : sim_(sim) {}
   Trigger(const Trigger&) = delete;
   Trigger& operator=(const Trigger&) = delete;
+  ~Trigger() {
+    GRIDSIM_DCHECK(waiters_.empty(),
+                   "Trigger destroyed with %zu blocked waiters; they can "
+                   "never be resumed",
+                   waiters_.size());
+    canary_ = detail::kDeadCanary;
+  }
 
   bool fired() const { return fired_; }
 
   void fire() {
+    GRIDSIM_DCHECK(canary_ == detail::kAliveCanary,
+                   "Trigger::fire on a destroyed Trigger");
     if (fired_) return;
     fired_ = true;
     for (auto h : waiters_) sim_.post([h] { h.resume(); });
@@ -38,6 +60,8 @@ class Trigger {
       Trigger& t;
       bool await_ready() const noexcept { return t.fired_; }
       void await_suspend(std::coroutine_handle<> h) {
+        GRIDSIM_DCHECK(t.canary_ == detail::kAliveCanary,
+                       "Trigger::wait on a destroyed Trigger");
         t.waiters_.push_back(h);
       }
       void await_resume() const noexcept {}
@@ -48,6 +72,7 @@ class Trigger {
  private:
   Simulation& sim_;
   bool fired_ = false;
+  std::uint32_t canary_ = detail::kAliveCanary;
   std::vector<std::coroutine_handle<>> waiters_;
 };
 
@@ -59,11 +84,19 @@ class OneShot {
   explicit OneShot(Simulation& sim) : sim_(sim) {}
   OneShot(const OneShot&) = delete;
   OneShot& operator=(const OneShot&) = delete;
+  ~OneShot() {
+    GRIDSIM_DCHECK(!waiter_,
+                   "OneShot destroyed with a blocked waiter; it can never "
+                   "be resumed");
+    canary_ = detail::kDeadCanary;
+  }
 
   bool ready() const { return value_.has_value(); }
 
   void set(T value) {
-    assert(!value_.has_value() && "OneShot::set called twice");
+    GRIDSIM_CHECK(canary_ == detail::kAliveCanary,
+                  "OneShot::set on a destroyed OneShot");
+    GRIDSIM_CHECK(!value_.has_value(), "OneShot::set called twice");
     value_ = std::move(value);
     if (waiter_) {
       auto h = std::exchange(waiter_, {});
@@ -76,7 +109,9 @@ class OneShot {
       OneShot& o;
       bool await_ready() const noexcept { return o.value_.has_value(); }
       void await_suspend(std::coroutine_handle<> h) {
-        assert(!o.waiter_ && "OneShot supports a single waiter");
+        GRIDSIM_DCHECK(o.canary_ == detail::kAliveCanary,
+                       "OneShot::wait on a destroyed OneShot");
+        GRIDSIM_CHECK(!o.waiter_, "OneShot supports a single waiter");
         o.waiter_ = h;
       }
       T await_resume() { return std::move(*o.value_); }
@@ -87,6 +122,7 @@ class OneShot {
  private:
   Simulation& sim_;
   std::optional<T> value_;
+  std::uint32_t canary_ = detail::kAliveCanary;
   std::coroutine_handle<> waiter_;
 };
 

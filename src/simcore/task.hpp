@@ -16,6 +16,8 @@
 #include <exception>
 #include <utility>
 
+#include "simcore/check.hpp"
+
 namespace gridsim {
 
 template <typename T>
@@ -96,7 +98,13 @@ class [[nodiscard]] Task {
   Task(const Task&) = delete;
   Task& operator=(const Task&) = delete;
   ~Task() {
-    if (handle_) handle_.destroy();
+    if (handle_) {
+      // Destroying a task someone is awaiting would leave the awaiter's
+      // handle dangling — its later resume would be use-after-free.
+      GRIDSIM_DCHECK(handle_.done() || !handle_.promise().continuation,
+                     "Task destroyed while a coroutine is awaiting it");
+      handle_.destroy();
+    }
   }
 
   bool valid() const noexcept { return static_cast<bool>(handle_); }
@@ -112,7 +120,11 @@ class [[nodiscard]] Task {
         handle.promise().continuation = awaiting;
         return handle;  // symmetric transfer: start the child now
       }
-      T await_resume() { return handle.promise().take_result(); }
+      T await_resume() {
+        GRIDSIM_CHECK(static_cast<bool>(handle),
+                      "co_await on an empty (moved-from) Task");
+        return handle.promise().take_result();
+      }
     };
     return Awaiter{handle_};
   }

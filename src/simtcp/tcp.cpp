@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "simcore/check.hpp"
+
 namespace gridsim::tcp {
 
 namespace {
@@ -72,7 +74,8 @@ double TcpChannel::rate_cap(double remaining_bytes) const {
 
 void TcpChannel::send(double bytes, std::function<void()> on_buffered,
                       std::function<void()> on_delivered) {
-  assert(bytes >= 0);
+  GRIDSIM_CHECK(bytes >= 0 && std::isfinite(bytes),
+                "TcpChannel::send: bad byte count %g", bytes);
   Segment seg;
   seg.bytes = bytes;
   // The segment is fully resident in the send buffer once everything queued
@@ -111,8 +114,8 @@ Task<void> TcpChannel::send_delivered(double bytes) {
 }
 
 void TcpChannel::start_head_segment() {
-  assert(!segments_.empty());
-  assert(flow_ == net::kInvalidFlow);
+  GRIDSIM_DCHECK(!segments_.empty());
+  GRIDSIM_DCHECK(flow_ == net::kInvalidFlow);
   flow_ = net_.start_flow(src_, dst_, segments_.front().bytes,
                           rate_cap(segments_.front().bytes),
                           [this] { on_head_drained(); });
@@ -120,11 +123,22 @@ void TcpChannel::start_head_segment() {
 
 void TcpChannel::on_head_drained() {
   flow_ = net::kInvalidFlow;
-  assert(!segments_.empty());
+  GRIDSIM_CHECK(!segments_.empty(),
+                "TcpChannel: flow completion with no segment in flight");
   Segment seg = std::move(segments_.front());
   segments_.pop_front();
   drained_ += seg.bytes;
   last_active_ = sim_.now();
+
+  // Byte conservation: the pipe can never have drained more than was
+  // enqueued, and when the pipeline empties the two must agree exactly
+  // (both sides sum the same segment sizes in the same order).
+  GRIDSIM_CHECK(drained_ <= enqueued_total_,
+                "TcpChannel: drained %.17g of %.17g enqueued bytes",
+                drained_, enqueued_total_);
+  GRIDSIM_CHECK(!segments_.empty() || drained_ == enqueued_total_,
+                "TcpChannel: idle with %.17g bytes unaccounted for",
+                enqueued_total_ - drained_);
 
   // The head segment itself is certainly resident (in fact gone) now.
   if (!seg.buffered_fired && seg.on_buffered) {
@@ -154,6 +168,10 @@ void TcpChannel::on_head_drained() {
     sim_.after(net_.path_latency(src_, dst_),
                [this, bytes, cb = std::move(seg.on_delivered)] {
                  bytes_delivered_ += bytes;
+                 GRIDSIM_CHECK(bytes_delivered_ <= drained_,
+                               "TcpChannel: delivered %.17g bytes but only "
+                               "%.17g ever drained",
+                               bytes_delivered_, drained_);
                  cb();
                });
   } else {

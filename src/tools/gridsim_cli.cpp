@@ -8,9 +8,16 @@
 //   gridsim ray2mesh  [--master SITE] [--rays N] [--impl NAME]
 //   gridsim simri     [--object N] [--nodes N]
 //   gridsim slowstart [--impl NAME] [--messages N] [--cross-traffic]
+//   gridsim audit     [--scenario pingpong|nas|ray2mesh|all] [--seed N]
+//                     [--expect HEXDIGEST]
+//
+// `audit` is the determinism auditor: it runs each scenario twice with the
+// same seed, hashes the structured event trace and exits non-zero if the
+// two digests diverge (or if --expect names a different digest).
 //
 // Implementations: TCP, MPICH2, GridMPI, MPICH-Madeleine, OpenMPI,
 // MPICH-G2.
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +27,7 @@
 
 #include "apps/ray2mesh.hpp"
 #include "apps/simri.hpp"
+#include "harness/determinism.hpp"
 #include "harness/npb_campaign.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/report.hpp"
@@ -215,10 +223,65 @@ int cmd_slowstart(const Args& a) {
   return 0;
 }
 
+int cmd_audit(const Args& a) {
+  const std::string which = a.get("scenario", "all");
+  std::vector<std::string> scenarios;
+  if (which == "all") {
+    scenarios = harness::audit_scenario_names();
+  } else {
+    scenarios.push_back(which);
+  }
+  // Strict parse: an audit against a silently-mangled seed would compare
+  // the wrong run and still report success.
+  std::uint64_t seed = 1;
+  if (const std::string s = a.get("seed", ""); !s.empty()) {
+    std::size_t pos = 0;
+    try {
+      seed = std::stoull(s, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != s.size()) {
+      std::fprintf(stderr, "error: --seed expects an unsigned integer, got '%s'\n",
+                   s.c_str());
+      return 1;
+    }
+  }
+  bool ok = true;
+  for (const auto& name : scenarios) {
+    const auto res = harness::audit_determinism(name, seed);
+    std::printf("audit %-9s seed=%" PRIu64 " events=%" PRIu64
+                " digest=%016" PRIx64 " %s\n",
+                name.c_str(), seed, res.first.events, res.first.digest,
+                res.deterministic ? "DETERMINISTIC" : "DIVERGED");
+    if (!res.deterministic) {
+      std::fprintf(stderr,
+                   "audit %s: second run digest=%016" PRIx64 " events=%" PRIu64
+                   " (first run digest=%016" PRIx64 " events=%" PRIu64 ")\n",
+                   name.c_str(), res.second.digest, res.second.events,
+                   res.first.digest, res.first.events);
+      ok = false;
+      continue;
+    }
+    if (a.flag("expect")) {
+      const std::uint64_t want =
+          std::strtoull(a.get("expect", "0").c_str(), nullptr, 16);
+      if (res.first.digest != want) {
+        std::fprintf(stderr,
+                     "audit %s: digest %016" PRIx64 " != expected %016" PRIx64
+                     "\n",
+                     name.c_str(), res.first.digest, want);
+        ok = false;
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: gridsim <pingpong|latency|nas|ray2mesh|simri|"
-               "slowstart> [--options]\n"
+               "slowstart|audit> [--options]\n"
                "see the header of src/tools/gridsim_cli.cpp\n");
   return 2;
 }
@@ -234,6 +297,7 @@ int main(int argc, char** argv) {
     if (a.command == "ray2mesh") return cmd_ray2mesh(a);
     if (a.command == "simri") return cmd_simri(a);
     if (a.command == "slowstart") return cmd_slowstart(a);
+    if (a.command == "audit") return cmd_audit(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,147 @@
+// Tests for the runtime invariant subsystem (GRIDSIM_CHECK / GRIDSIM_DCHECK)
+// and the engine invariants it guards: event-queue FIFO tiebreak order,
+// time monotonicity and schedule-in-the-past rejection.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simcore/check.hpp"
+#include "simcore/event_queue.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/sync.hpp"
+
+namespace gridsim {
+namespace {
+
+using literals::operator""_us;
+
+TEST(CheckDeath, FailedCheckAbortsWithExpression) {
+  EXPECT_DEATH(GRIDSIM_CHECK(1 + 1 == 3), "GRIDSIM_CHECK failed: 1 \\+ 1 == 3");
+}
+
+TEST(CheckDeath, MessageIsFormattedIntoDiagnostic) {
+  EXPECT_DEATH(GRIDSIM_CHECK(false, "rank %d out of range", 7),
+               "rank 7 out of range");
+}
+
+TEST(CheckDeath, LiveSimulationContextIsReported) {
+  Simulation sim;
+  sim.at(5, [] {});
+  // The diagnostic must carry the engine snapshot: sim-time, live-process
+  // count and the depth of the pending-event queue.
+  EXPECT_DEATH(GRIDSIM_CHECK(false), "sim-time=0 ns.*event-queue-depth=1");
+}
+
+TEST(CheckDeath, ScheduleIntoThePastAborts) {
+  EventQueue q;
+  q.schedule(100, [] {});
+  q.schedule(100, [] {});
+  EXPECT_EQ(q.run_next(), 100);
+  EXPECT_DEATH(q.schedule(99, [] {}), "time travels backwards");
+}
+
+TEST(CheckDeath, NullCallbackAborts) {
+  EventQueue q;
+  EXPECT_DEATH(q.schedule(0, std::function<void()>{}), "null callback");
+}
+
+TEST(CheckDeath, RunNextOnEmptyQueueAborts) {
+  EventQueue q;
+  EXPECT_DEATH(q.run_next(), "empty queue");
+}
+
+TEST(Check, PassingCheckHasNoSideEffects) {
+  int evaluations = 0;
+  GRIDSIM_CHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+#if defined(GRIDSIM_ENABLE_DCHECKS)
+TEST(CheckDeath, DcheckFiresWhenEnabled) {
+  EXPECT_DEATH(GRIDSIM_DCHECK(false, "dcheck message"), "dcheck message");
+}
+#else
+TEST(Check, DcheckDoesNotEvaluateWhenDisabled) {
+  int evaluations = 0;
+  GRIDSIM_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }());
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+TEST(EventQueueFifo, EqualTimestampsFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    q.schedule(42, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueFifo, TiebreakHoldsUnderInterleavedTimestamps) {
+  // Property: for any interleaving of insertions, events pop sorted by time,
+  // and within one timestamp in insertion order.
+  Rng rng(2024);
+  EventQueue q;
+  struct Fired {
+    SimTime at;
+    int insertion_index;
+  };
+  std::vector<Fired> fired;
+  std::vector<int> inserted_per_time(4, 0);
+  for (int i = 0; i < 200; ++i) {
+    const auto slot = static_cast<size_t>(rng.uniform_int(0, 3));
+    const SimTime t = 10 * static_cast<SimTime>(slot + 1);
+    const int index = inserted_per_time[slot]++;
+    q.schedule(t, [&fired, t, index] { fired.push_back({t, index}); });
+  }
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(fired.size(), 200u);
+  for (size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1].at, fired[i].at);
+    if (fired[i - 1].at == fired[i].at) {
+      EXPECT_EQ(fired[i - 1].insertion_index + 1, fired[i].insertion_index);
+    }
+  }
+}
+
+TEST(SimulationMonotonicity, AtRejectsTimesInThePast) {
+  Simulation sim;
+  sim.at(1000, [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), 1000);
+  EXPECT_THROW(sim.at(999, [] {}), std::logic_error);
+  // Scheduling exactly at now() stays legal (post() relies on it).
+  EXPECT_NO_THROW(sim.at(1000, [] {}));
+}
+
+TEST(SimulationMonotonicity, PostOrdersAfterQueuedEventsAtSameTime) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(5_us, [&] {
+    order.push_back(1);
+    sim.post([&] { order.push_back(3); });
+  });
+  sim.at(5_us, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(OneShotDeath, DoubleSetAborts) {
+  Simulation sim;
+  OneShot<int> slot(sim);
+  slot.set(1);
+  EXPECT_DEATH(slot.set(2), "OneShot::set called twice");
+}
+
+}  // namespace
+}  // namespace gridsim

@@ -165,10 +165,6 @@ INSTANTIATE_TEST_SUITE_P(
                       mpi::AllreduceAlgo::kRabenseifner,
                       mpi::AllreduceAlgo::kHierarchical));
 
-Task<void> allreduce_bytes_body(Rank& r, double bytes) {
-  co_await allreduce(r, bytes);
-}
-
 TEST(Collectives, HierarchicalAllreduceReducesWanTraffic) {
   // The hierarchical algorithm's benefit with two sites is WAN traffic: only
   // the two site leaders exchange payloads across the WAN (2 messages),

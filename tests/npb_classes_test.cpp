@@ -6,6 +6,7 @@
 #include "harness/npb_campaign.hpp"
 #include "npb/npb.hpp"
 #include "profiles/profiles.hpp"
+#include "simcore/check.hpp"
 
 namespace gridsim::npb {
 namespace {
@@ -64,7 +65,10 @@ TEST(NpbClasses, TrafficGrowsWithClass) {
 
 TEST(NpbClasses, TimeoutReportsPartialRun) {
   // Class B LU on 4 ranks takes ~100 virtual seconds; a 1-second budget
-  // must report a timeout with partial traffic.
+  // must report a timeout with partial traffic. Timing out abandons the
+  // still-suspended rank coroutines, so their frames are exempt from leak
+  // detection for this run.
+  [[maybe_unused]] ScopedLeakExemption abandoned_run_frames;
   const auto res = harness::run_npb(topo::GridSpec::single_cluster(4), 4,
                                     Kernel::kLU, Class::kB, cfg(),
                                     seconds(1));

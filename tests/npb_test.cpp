@@ -84,7 +84,7 @@ TEST(Npb, CgUsesSmallAndLargeMessages) {
   bool has_8 = false, has_large = false;
   for (const auto& [size, count] : cg.traffic.p2p_sizes) {
     if (size == 8) has_8 = true;
-    if (size > 120e3 && size < 180e3) has_large = true;
+    if (size > 120'000 && size < 180'000) has_large = true;
   }
   EXPECT_TRUE(has_8);
   EXPECT_TRUE(has_large);
