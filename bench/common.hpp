@@ -1,15 +1,28 @@
 // Shared helpers for the experiment benches. Every bench binary prints the
 // rows/series of one table or figure of the paper, with the paper's values
 // quoted alongside for comparison.
+//
+// Also hosts the `gridsim bench` suite: engine micro-benchmarks and a
+// representative figure subset, with results written to BENCH_micro.json /
+// BENCH_figs.json (see docs/usage.md for the schema).
 #pragma once
 
+#include <array>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "apps/ray2mesh.hpp"
+#include "harness/npb_campaign.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/report.hpp"
 #include "profiles/profiles.hpp"
+#include "simcore/callback.hpp"
+#include "simcore/sync.hpp"
+#include "simtcp/packet_sim.hpp"
 
 namespace gridsim::bench {
 
@@ -58,6 +71,312 @@ inline void bandwidth_figure(const std::string& title, bool grid,
   harness::print_csv(title + " -- MPI bandwidth (Mbps)", headers, rows);
   harness::print_ascii_chart(title, series_names, x_labels, values, 1000,
                              "Mbps");
+}
+
+// ---------------------------------------------------------------------------
+// `gridsim bench` support: engine micro-benchmarks + figure-subset timings,
+// written as machine-readable JSON so CI can archive performance over time.
+// ---------------------------------------------------------------------------
+
+/// One benchmark measurement. `events` is the number of engine events the
+/// run processed; `heap_payloads`/`pool_misses` are the callback allocation
+/// counters accumulated during the run (zero on the intended hot path).
+struct BenchRecord {
+  std::string name;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+  double events_per_sec = 0;
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t heap_payloads = 0;
+  std::uint64_t pool_misses = 0;
+  std::string note;  ///< human-oriented summary of the simulated result
+};
+
+namespace detail {
+
+inline double now_wall_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Self-rescheduling event storm. Pure engine stress: delays come from a
+/// multiplicative hash (no RNG object in the hot loop) and the five capture
+/// classes exercise the callback inline sizes 8/16/32/48 bytes plus one
+/// 64-byte overflow into the payload pool.
+struct ChurnActor {
+  Simulation& sim;
+  std::uint64_t remaining;
+  std::uint64_t step = 0;
+  std::uint64_t checksum = 0;
+
+  void next() {
+    if (remaining == 0) return;
+    --remaining;
+    ++step;
+    const auto delay =
+        static_cast<SimTime>((step * 2654435761ULL) % 1000 + 1);
+    switch (step % 5) {
+      case 0:
+        sim.after(delay, [this] {
+          checksum += 1;
+          next();
+        });
+        break;
+      case 1: pad_event<1>(delay); break;
+      case 2: pad_event<3>(delay); break;
+      case 3: pad_event<5>(delay); break;
+      default: pad_event<7>(delay); break;
+    }
+  }
+
+  template <std::size_t Words>
+  void pad_event(SimTime delay) {
+    std::array<std::uint64_t, Words> pad;
+    for (std::size_t i = 0; i < Words; ++i) pad[i] = step + i;
+    sim.after(delay, [this, pad] {
+      for (auto w : pad) checksum += w;
+      next();
+    });
+  }
+};
+
+inline Task<void> bench_chatter(Simulation& sim, Mailbox<int>* in,
+                                Mailbox<int>* out, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    const int v = co_await in->pop();
+    co_await sim.delay(1);
+    out->push(v + 1);
+  }
+}
+
+}  // namespace detail
+
+/// Event-queue churn micro-sim: 64 concurrent self-rescheduling actors,
+/// mixed capture sizes, hash-derived delays. Measures raw schedule/dispatch
+/// throughput of the engine.
+inline BenchRecord bench_queue_churn(bool quick) {
+  const std::uint64_t events = quick ? 400'000 : 4'000'000;
+  Simulation sim;
+  detail::ChurnActor actor{sim, events};
+  for (int i = 0; i < 64; ++i) actor.next();
+  reset_callback_stats();
+  const double t0 = detail::now_wall_s();
+  sim.run();
+  const double wall = detail::now_wall_s() - t0;
+  const CallbackStats cs = callback_stats();
+  BenchRecord r;
+  r.name = "queue_churn";
+  r.events = sim.events_processed();
+  r.wall_s = wall;
+  r.events_per_sec = static_cast<double>(r.events) / wall;
+  r.peak_queue_depth = sim.peak_queue_depth();
+  r.heap_payloads = cs.heap_payloads;
+  r.pool_misses = cs.pool_misses;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "checksum=%llx",
+                static_cast<unsigned long long>(actor.checksum));
+  r.note = buf;
+  return r;
+}
+
+/// Coroutine ping-pong micro-sim: pairs of processes exchanging mailbox
+/// messages. Measures the spawn/await/resume path rather than the raw queue.
+inline BenchRecord bench_coroutine_pingpong(bool quick) {
+  const int pairs = quick ? 200 : 2'000;
+  const int rounds = quick ? 25 : 50;
+  Simulation sim;
+  std::vector<std::unique_ptr<Mailbox<int>>> boxes;
+  for (int i = 0; i < 2 * pairs; ++i)
+    boxes.push_back(std::make_unique<Mailbox<int>>(sim));
+  for (int i = 0; i < pairs; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    sim.spawn(detail::bench_chatter(sim, boxes[2 * k].get(),
+                                    boxes[2 * k + 1].get(), rounds));
+    sim.spawn(detail::bench_chatter(sim, boxes[2 * k + 1].get(),
+                                    boxes[2 * k].get(), rounds));
+    boxes[2 * k]->push(0);
+  }
+  reset_callback_stats();
+  const double t0 = detail::now_wall_s();
+  sim.run();
+  const double wall = detail::now_wall_s() - t0;
+  const CallbackStats cs = callback_stats();
+  BenchRecord r;
+  r.name = "coroutine_pingpong";
+  r.events = sim.events_processed();
+  r.wall_s = wall;
+  r.events_per_sec = static_cast<double>(r.events) / wall;
+  r.peak_queue_depth = sim.peak_queue_depth();
+  r.heap_payloads = cs.heap_payloads;
+  r.pool_misses = cs.pool_misses;
+  return r;
+}
+
+/// Packet-level TCP micro-sim: one bulk transfer through the droptail
+/// bottleneck. Exercises the timer re-arm discipline and ack batching.
+inline BenchRecord bench_packet_tcp(bool quick) {
+  const double bytes = quick ? 8e6 : 64e6;
+  tcp::PacketSimConfig cfg;
+  BenchRecord r;
+  r.name = "packet_tcp";
+  SimHooks hooks;
+  hooks.on_finish = [&r](Simulation& sim) {
+    r.events = sim.events_processed();
+    r.peak_queue_depth = sim.peak_queue_depth();
+  };
+  reset_callback_stats();
+  const double t0 = detail::now_wall_s();
+  const auto res = tcp::packet_level_transfer(bytes, cfg, hooks);
+  const double wall = detail::now_wall_s() - t0;
+  const CallbackStats cs = callback_stats();
+  r.wall_s = wall;
+  r.events_per_sec = static_cast<double>(r.events) / wall;
+  r.heap_payloads = cs.heap_payloads;
+  r.pool_misses = cs.pool_misses;
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "%.0f MB, %d packets, %d losses, %d retransmits", bytes / 1e6,
+                res.packets_sent, res.losses, res.retransmits);
+  r.note = buf;
+  return r;
+}
+
+/// Runs `fn` (which must accept a SimHooks) and packages the engine
+/// counters it reports into a BenchRecord.
+template <typename Fn>
+inline BenchRecord bench_figure(const std::string& name, Fn&& fn) {
+  BenchRecord r;
+  r.name = name;
+  SimHooks hooks;
+  hooks.on_finish = [&r](Simulation& sim) {
+    r.events += sim.events_processed();
+    if (sim.peak_queue_depth() > r.peak_queue_depth)
+      r.peak_queue_depth = sim.peak_queue_depth();
+  };
+  reset_callback_stats();
+  const double t0 = detail::now_wall_s();
+  r.note = fn(hooks);
+  r.wall_s = detail::now_wall_s() - t0;
+  const CallbackStats cs = callback_stats();
+  r.events_per_sec = static_cast<double>(r.events) / r.wall_s;
+  r.heap_payloads = cs.heap_payloads;
+  r.pool_misses = cs.pool_misses;
+  return r;
+}
+
+/// The engine micro-benchmarks; best-of-`reps` by events/sec.
+inline std::vector<BenchRecord> run_micro_suite(bool quick, int reps) {
+  std::vector<BenchRecord> out;
+  const auto best_of = [reps](auto&& bench_fn, bool q) {
+    BenchRecord best = bench_fn(q);
+    for (int i = 1; i < reps; ++i) {
+      BenchRecord r = bench_fn(q);
+      if (r.events_per_sec > best.events_per_sec) best = r;
+    }
+    return best;
+  };
+  out.push_back(best_of(bench_queue_churn, quick));
+  out.push_back(best_of(bench_coroutine_pingpong, quick));
+  out.push_back(best_of(bench_packet_tcp, quick));
+  return out;
+}
+
+/// A representative subset of the paper figures, instrumented end to end:
+/// the grid ping-pong sweep (fig. 3 family), one NPB kernel and ray2mesh.
+inline std::vector<BenchRecord> run_figure_suite(bool quick) {
+  std::vector<BenchRecord> out;
+
+  out.push_back(bench_figure("pingpong_grid", [quick](const SimHooks& hooks) {
+    const auto spec = topo::GridSpec::rennes_nancy(1);
+    const auto cfg = profiles::configure(profiles::mpich2(),
+                                         profiles::TuningLevel::kFullyTuned);
+    harness::PingpongOptions opt;
+    opt.sizes = harness::pow2_sizes(1024, quick ? 1024.0 * 1024
+                                                : 64.0 * 1024 * 1024);
+    opt.rounds = quick ? 4 : 12;
+    const auto pts =
+        harness::pingpong_sweep(spec, {0, 0, 1, 0}, cfg, opt, hooks);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "peak %.1f Mbps",
+                  pts.empty() ? 0.0 : pts.back().max_bandwidth_mbps);
+    return std::string(buf);
+  }));
+
+  out.push_back(bench_figure("npb_cg_grid", [quick](const SimHooks& hooks) {
+    const auto cfg = profiles::configure(profiles::mpich2(),
+                                         profiles::TuningLevel::kTcpTuned);
+    const auto cls = quick ? npb::Class::kS : npb::Class::kA;
+    const auto res = harness::run_npb(topo::GridSpec::rennes_nancy(8), 16,
+                                      npb::Kernel::kCG, cls, cfg, 0, hooks);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "class %s makespan %.2f s",
+                  quick ? "S" : "A", to_seconds(res.makespan));
+    return std::string(buf);
+  }));
+
+  out.push_back(bench_figure("ray2mesh_grid", [quick](const SimHooks& hooks) {
+    const auto spec = topo::GridSpec::ray2mesh_quad(8);
+    const auto cfg = profiles::configure(profiles::gridmpi(),
+                                         profiles::TuningLevel::kTcpTuned);
+    apps::Ray2MeshConfig app;
+    app.total_rays = quick ? 100'000 : 1'000'000;
+    const auto res = apps::run_ray2mesh(spec, 0, cfg, app, hooks);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "total %.1f s", to_seconds(res.total_time));
+    return std::string(buf);
+  }));
+
+  return out;
+}
+
+/// Minimal JSON escaping: the strings we emit are ASCII summaries, so only
+/// quotes and backslashes (and control characters, defensively) need care.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Writes one BENCH_*.json document. Schema: docs/usage.md.
+inline bool write_bench_json(const std::string& path,
+                             const std::string& schema, bool quick,
+                             const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"schema\": \"%s\",\n  \"quick\": %s,\n",
+               json_escape(schema).c_str(), quick ? "true" : "false");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"events\": %llu, \"wall_s\": %.6f, "
+                 "\"events_per_sec\": %.0f, \"peak_queue_depth\": %llu, "
+                 "\"heap_payloads\": %llu, \"pool_misses\": %llu, "
+                 "\"note\": \"%s\"}%s\n",
+                 json_escape(r.name).c_str(),
+                 static_cast<unsigned long long>(r.events), r.wall_s,
+                 r.events_per_sec,
+                 static_cast<unsigned long long>(r.peak_queue_depth),
+                 static_cast<unsigned long long>(r.heap_payloads),
+                 static_cast<unsigned long long>(r.pool_misses),
+                 json_escape(r.note).c_str(),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  return std::fclose(f) == 0;
 }
 
 }  // namespace gridsim::bench

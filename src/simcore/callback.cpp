@@ -1,0 +1,69 @@
+#include "simcore/callback.hpp"
+
+namespace gridsim {
+
+namespace {
+
+// Payloads up to one pool block ride the free list; the block is a union so
+// a free block stores its own next pointer. 128 bytes covers every capture
+// the simulator schedules today with room to spare (the common oversized
+// case is a captured std::function at ~32-48 bytes plus context).
+constexpr std::size_t kPoolBlockSize = 128;
+
+union Block {
+  Block* next;
+  alignas(std::max_align_t) std::byte bytes[kPoolBlockSize];
+};
+
+// The engine is single-threaded per simulation; thread_local keeps the pool
+// lock-free while staying correct if tests ever run simulations on several
+// threads. The destructor returns pooled blocks so leak checkers stay green.
+struct Pool {
+  Block* free_list = nullptr;
+  ~Pool() {
+    while (free_list != nullptr) {
+      Block* b = free_list;
+      free_list = b->next;
+      ::operator delete(b);
+    }
+  }
+};
+
+thread_local Pool g_pool;
+thread_local CallbackStats g_stats;
+
+}  // namespace
+
+namespace detail {
+
+void* callback_alloc(std::size_t size) {
+  ++g_stats.heap_payloads;
+  if (size <= kPoolBlockSize) {
+    if (Block* b = g_pool.free_list; b != nullptr) {
+      g_pool.free_list = b->next;
+      return b;
+    }
+    ++g_stats.pool_misses;
+    return ::operator new(sizeof(Block));
+  }
+  ++g_stats.pool_misses;
+  return ::operator new(size);
+}
+
+void callback_free(void* p, std::size_t size) noexcept {
+  if (size <= kPoolBlockSize) {
+    Block* b = static_cast<Block*>(p);
+    b->next = g_pool.free_list;
+    g_pool.free_list = b;
+  } else {
+    ::operator delete(p);
+  }
+}
+
+}  // namespace detail
+
+CallbackStats callback_stats() noexcept { return g_stats; }
+
+void reset_callback_stats() noexcept { g_stats = CallbackStats{}; }
+
+}  // namespace gridsim

@@ -1,33 +1,39 @@
 #include "simcore/event_queue.hpp"
 
-#include "simcore/check.hpp"
-
 namespace gridsim {
 
-void EventQueue::schedule(SimTime t, std::function<void()> fn) {
-  GRIDSIM_CHECK(fn != nullptr, "EventQueue::schedule: null callback");
-  GRIDSIM_CHECK(t >= floor_,
-                "EventQueue::schedule: time travels backwards (t=%lld ns, "
-                "last executed event at %lld ns)",
-                static_cast<long long>(t), static_cast<long long>(floor_));
-  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+void EventQueue::sift_up(std::size_t idx) {
+  if (idx == 0) return;
+  std::size_t parent = (idx - 1) / 4;
+  if (!before(heap_[idx], heap_[parent])) return;
+  const Key key = heap_[idx];
+  do {
+    heap_[idx] = heap_[parent];
+    idx = parent;
+    parent = (idx - 1) / 4;
+  } while (idx > 0 && before(key, heap_[parent]));
+  heap_[idx] = key;
 }
 
-SimTime EventQueue::next_time() const {
-  return heap_.empty() ? kSimTimeNever : heap_.top().time;
-}
-
-SimTime EventQueue::run_next() {
-  GRIDSIM_CHECK(!heap_.empty(), "EventQueue::run_next on an empty queue");
-  // Move the callback out before popping; the const_cast is safe because the
-  // entry is removed before anything can observe the moved-from state.
-  auto& top = const_cast<Entry&>(heap_.top());
-  const SimTime t = top.time;
-  std::function<void()> fn = std::move(top.fn);
-  heap_.pop();
-  floor_ = t;
-  fn();
-  return t;
+void EventQueue::pop_root() {
+  const Key last = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return;
+  const std::size_t n = heap_.size();
+  std::size_t idx = 0;
+  for (;;) {
+    const std::size_t first_child = idx * 4 + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], last)) break;
+    heap_[idx] = heap_[best];
+    idx = best;
+  }
+  heap_[idx] = last;
 }
 
 }  // namespace gridsim

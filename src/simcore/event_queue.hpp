@@ -3,6 +3,20 @@
 // Events at equal timestamps fire in insertion order (FIFO), which makes the
 // whole simulation reproducible regardless of heap implementation details.
 //
+// The store is a hand-rolled 4-ary min-heap over small (time, seq, slot)
+// keys; the callback payloads live in a side slot array recycled through a
+// free list, so sift operations shuffle 24-byte trivially-copyable keys and
+// never touch the payloads. Keys are unique (seq is a monotone counter), so
+// the pop order — and therefore the determinism digest — is a pure function
+// of the schedule() call sequence, independent of heap arity or sift
+// details. 4-ary beats binary here: half the levels per sift and the four
+// children of a node share a cache line pair.
+//
+// Payloads are a small-buffer-optimized `Callback` (simcore/callback.hpp):
+// captures of up to 48 trivially-copyable bytes are stored inline, so the
+// common path performs no heap allocation at all; larger captures come from
+// a pooled free list. `callback_stats()` counts the spills.
+//
 // There is deliberately no cancel(): components that need to invalidate a
 // scheduled event (e.g. a fluid-flow completion that a rate change made
 // stale) guard their callback with a generation counter instead. This keeps
@@ -10,11 +24,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
+#include "simcore/callback.hpp"
+#include "simcore/check.hpp"
 #include "simcore/time.hpp"
 
 namespace gridsim {
@@ -22,37 +36,78 @@ namespace gridsim {
 class EventQueue {
  public:
   /// Schedules `fn` at absolute time `t`.
-  void schedule(SimTime t, std::function<void()> fn);
+  void schedule(SimTime t, Callback fn) {
+    GRIDSIM_CHECK(static_cast<bool>(fn), "EventQueue::schedule: null callback");
+    GRIDSIM_CHECK(t >= floor_,
+                  "EventQueue::schedule: time travels backwards (t=%lld ns, "
+                  "last executed event at %lld ns)",
+                  static_cast<long long>(t), static_cast<long long>(floor_));
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(std::move(fn));
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = std::move(fn);
+    }
+    heap_.push_back(Key{t, next_seq_++, slot});
+    sift_up(heap_.size() - 1);
+    if (heap_.size() > peak_size_) peak_size_ = heap_.size();
+  }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// High-water mark of size() over the queue's lifetime.
+  std::size_t peak_size() const noexcept { return peak_size_; }
 
   /// Timestamp of the next event; kSimTimeNever when empty.
-  SimTime next_time() const;
+  SimTime next_time() const noexcept {
+    return heap_.empty() ? kSimTimeNever : heap_.front().time;
+  }
 
   /// Pops and runs the next event; returns its timestamp.
   /// Precondition: !empty().
-  SimTime run_next();
+  SimTime run_next() {
+    GRIDSIM_CHECK(!heap_.empty(), "EventQueue::run_next on an empty queue");
+    const Key top = heap_.front();
+    // Detach the payload and retire the slot and key before invoking: the
+    // callback may schedule new events and must never observe its own
+    // half-removed entry.
+    Callback fn = std::move(slots_[top.slot]);
+    free_slots_.push_back(top.slot);
+    pop_root();
+    floor_ = top.time;
+    fn();
+    return top.time;
+  }
 
   /// Timestamp of the most recently executed event. No later schedule()
   /// may target an earlier time — the engine's time-monotonicity floor.
-  SimTime floor() const { return floor_; }
+  SimTime floor() const noexcept { return floor_; }
 
  private:
-  struct Entry {
+  struct Key {
     SimTime time;
-    std::uint64_t seq;  // FIFO tiebreaker for equal timestamps
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint64_t seq;   // FIFO tiebreaker for equal timestamps
+    std::uint32_t slot;  // index of the payload in slots_
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  static bool before(const Key& a, const Key& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t idx);
+  /// Removes the root key and restores the heap property.
+  void pop_root();
+
+  std::vector<Key> heap_;  // 4-ary min-heap; children of i: 4i+1 .. 4i+4
+  std::vector<Callback> slots_;           // payloads, addressed by Key::slot
+  std::vector<std::uint32_t> free_slots_;  // recycled slot indices
   std::uint64_t next_seq_ = 0;
+  std::size_t peak_size_ = 0;
   SimTime floor_ = 0;
 };
 

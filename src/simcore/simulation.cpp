@@ -53,11 +53,6 @@ CheckContext Simulation::check_context_of(const void* self) {
   return CheckContext{sim->now_, sim->live_processes_, sim->queue_.size()};
 }
 
-void Simulation::at(SimTime t, std::function<void()> fn) {
-  if (t < now_) throw std::logic_error("Simulation::at: time in the past");
-  queue_.schedule(t, std::move(fn));
-}
-
 void Simulation::spawn(Task<void> task) {
   if (!task.valid())
     throw std::invalid_argument("Simulation::spawn: empty task");

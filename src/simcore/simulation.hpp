@@ -11,6 +11,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "simcore/callback.hpp"
 #include "simcore/check.hpp"
 #include "simcore/event_queue.hpp"
 #include "simcore/task.hpp"
@@ -32,12 +33,17 @@ class Simulation {
   SimTime now() const { return now_; }
 
   /// Schedules a callback at absolute virtual time `t` (must be >= now()).
-  void at(SimTime t, std::function<void()> fn);
+  /// `Callback` stores small trivially-copyable captures inline, so the
+  /// common scheduling path performs no heap allocation.
+  void at(SimTime t, Callback fn) {
+    if (t < now_) throw std::logic_error("Simulation::at: time in the past");
+    queue_.schedule(t, std::move(fn));
+  }
   /// Schedules a callback `dt` after now().
-  void after(SimTime dt, std::function<void()> fn) { at(now_ + dt, fn); }
+  void after(SimTime dt, Callback fn) { at(now_ + dt, std::move(fn)); }
   /// Schedules a callback at the current time, after already-queued events
   /// with the same timestamp.
-  void post(std::function<void()> fn) { at(now_, std::move(fn)); }
+  void post(Callback fn) { at(now_, std::move(fn)); }
 
   /// Starts a root process. The task begins executing when the event loop
   /// reaches the current timestamp; it is destroyed when it completes.
@@ -54,6 +60,11 @@ class Simulation {
   int live_processes() const { return live_processes_; }
 
   std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Current and high-water pending-event counts (perf observability;
+  /// `gridsim bench` records the peak per scenario).
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t peak_queue_depth() const { return queue_.peak_size(); }
 
   /// Structured event trace (categories disabled by default).
   Tracer& tracer() { return tracer_; }

@@ -7,10 +7,21 @@
 // congestion avoidance, fast retransmit on three duplicate acks and a
 // coarse retransmission timeout.
 //
+// Timer discipline: each connection keeps a single outstanding RTO timer
+// event. Forward progress re-arms it by pushing a deadline; a fire before
+// the deadline reschedules itself instead of acting. The receiver also
+// stops emitting duplicate acks beyond the third for the same cumulative
+// value (they are inert in this model — there is no window inflation), so
+// a bulk transfer schedules O(packets) events with O(window) of them
+// pending at any instant, instead of accumulating one live 200 ms timer
+// closure per ack.
+//
 // It is deliberately limited to one connection on one path: its job is to
 // validate the fluid model's transfer times and loss behaviour
 // (tests/packet_sim_test.cpp), not to run experiments.
 #pragma once
+
+#include <vector>
 
 #include "simcore/simulation.hpp"
 #include "simtcp/tcp.hpp"
@@ -25,19 +36,27 @@ struct PacketSimConfig {
   double window_limit_bytes = 4e6;          ///< socket buffer bound
   int initial_window_packets = 2;
   SimTime rto = milliseconds(200);
+  /// Test hook: sequence numbers dropped on their first enqueue attempt
+  /// (counted as losses). Retransmissions of the same sequence go through,
+  /// so each entry injects exactly one deterministic, isolated loss.
+  std::vector<int> forced_drops;
 };
 
 struct PacketSimResult {
   SimTime completion = 0;  ///< last byte acked
-  int packets_sent = 0;    ///< including retransmits
-  int losses = 0;          ///< queue drops
+  int packets_sent = 0;    ///< transmission attempts, including retransmits
+  int losses = 0;          ///< queue drops (droptail + forced)
   int retransmits = 0;
+  int rto_timeouts = 0;      ///< genuine RTO expiries (cwnd collapses)
+  int retransmit_drops = 0;  ///< recovery retransmits lost to a full queue
   double max_cwnd_packets = 0;
 };
 
-/// Runs one bulk transfer of `bytes` to completion inside `sim` (which
-/// must be otherwise idle) and returns the outcome.
-PacketSimResult packet_level_transfer(double bytes,
-                                      const PacketSimConfig& cfg);
+/// Runs one bulk transfer of `bytes` to completion in a private Simulation
+/// and returns the outcome. `hooks` observe that engine (same contract as
+/// the harness runners): `on_start` fires before the first packet is sent,
+/// `on_finish` after the event loop drains.
+PacketSimResult packet_level_transfer(double bytes, const PacketSimConfig& cfg,
+                                      const SimHooks& hooks = {});
 
 }  // namespace gridsim::tcp

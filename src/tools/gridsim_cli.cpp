@@ -10,23 +10,33 @@
 //   gridsim slowstart [--impl NAME] [--messages N] [--cross-traffic]
 //   gridsim audit     [--scenario pingpong|nas|ray2mesh|all] [--seed N]
 //                     [--expect HEXDIGEST]
+//   gridsim bench     [--quick] [--out DIR] [--reps N]
 //
 // `audit` is the determinism auditor: it runs each scenario twice with the
 // same seed, hashes the structured event trace and exits non-zero if the
 // two digests diverge (or if --expect names a different digest).
 //
+// `bench` runs the engine micro-benchmarks (event-queue churn, coroutine
+// ping-pong, packet-level TCP) and a representative figure subset, and
+// writes BENCH_micro.json / BENCH_figs.json into --out (default: the
+// current directory). --quick shrinks every workload for CI smoke runs.
+// The JSON schema is documented in docs/usage.md.
+//
 // Implementations: TCP, MPICH2, GridMPI, MPICH-Madeleine, OpenMPI,
 // MPICH-G2.
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "apps/ray2mesh.hpp"
 #include "apps/simri.hpp"
+#include "bench/common.hpp"
 #include "harness/determinism.hpp"
 #include "harness/npb_campaign.hpp"
 #include "harness/pingpong.hpp"
@@ -278,10 +288,54 @@ int cmd_audit(const Args& a) {
   return ok ? 0 : 1;
 }
 
+int cmd_bench(const Args& a) {
+  const bool quick = a.flag("quick");
+  const std::string out_dir = a.get("out", ".");
+  const int reps = std::max(1, static_cast<int>(a.num("reps", 3)));
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);  // best effort; fopen
+                                                     // reports real failures
+
+  const auto print_records = [](const char* title,
+                                const std::vector<bench::BenchRecord>& recs) {
+    std::printf("# %s\n", title);
+    for (const auto& r : recs) {
+      std::printf(
+          "%-20s %12llu events  %8.3f s  %12.0f ev/s  peak depth %llu  "
+          "heap payloads %llu  pool misses %llu  %s\n",
+          r.name.c_str(), static_cast<unsigned long long>(r.events), r.wall_s,
+          r.events_per_sec, static_cast<unsigned long long>(r.peak_queue_depth),
+          static_cast<unsigned long long>(r.heap_payloads),
+          static_cast<unsigned long long>(r.pool_misses), r.note.c_str());
+    }
+  };
+
+  const auto micro = bench::run_micro_suite(quick, reps);
+  print_records("micro-sim (best of reps, by events/sec)", micro);
+  const std::string micro_path = out_dir + "/BENCH_micro.json";
+  if (!bench::write_bench_json(micro_path, "gridsim-bench-micro/1", quick,
+                               micro)) {
+    std::fprintf(stderr, "error: cannot write %s\n", micro_path.c_str());
+    return 1;
+  }
+
+  const auto figs = bench::run_figure_suite(quick);
+  print_records("figure subset (single run)", figs);
+  const std::string figs_path = out_dir + "/BENCH_figs.json";
+  if (!bench::write_bench_json(figs_path, "gridsim-bench-figs/1", quick,
+                               figs)) {
+    std::fprintf(stderr, "error: cannot write %s\n", figs_path.c_str());
+    return 1;
+  }
+
+  std::printf("wrote %s and %s\n", micro_path.c_str(), figs_path.c_str());
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: gridsim <pingpong|latency|nas|ray2mesh|simri|"
-               "slowstart|audit> [--options]\n"
+               "slowstart|audit|bench> [--options]\n"
                "see the header of src/tools/gridsim_cli.cpp\n");
   return 2;
 }
@@ -298,6 +352,7 @@ int main(int argc, char** argv) {
     if (a.command == "simri") return cmd_simri(a);
     if (a.command == "slowstart") return cmd_slowstart(a);
     if (a.command == "audit") return cmd_audit(a);
+    if (a.command == "bench") return cmd_bench(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

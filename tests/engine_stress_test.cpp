@@ -120,5 +120,54 @@ TEST(EngineStress, SpawnEmptyTaskThrows) {
   EXPECT_THROW(sim.spawn(Task<void>{}), std::invalid_argument);
 }
 
+// Pins the exact pop order of the event queue under a stress mix: 20k
+// events at hash-random timestamps (every third with an oversized capture
+// that takes the engine's out-of-line payload path), plus one event that
+// fans out 200 same-timestamp FIFO-tied events. The digest value was
+// computed on the std::function/binary-heap engine this queue replaced;
+// it must never change — FIFO tie-breaking and global event order are part
+// of the determinism contract (docs/architecture.md).
+TEST(EngineStress, EventOrderDigestPinnedAcrossEngineRewrites) {
+  Simulation sim;
+  Rng rng(2024);
+  std::uint64_t digest = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto fold = [&digest](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      digest ^= (v >> (8 * i)) & 0xff;
+      digest *= 1099511628211ULL;  // FNV-1a prime
+    }
+  };
+  for (int i = 0; i < 20'000; ++i) {
+    const SimTime t = rng.uniform_int(0, 1'000'000);
+    const auto id = static_cast<std::uint64_t>(i);
+    if (i % 3 == 0) {
+      // Oversized capture: out-of-line payload in any engine variant.
+      std::uint64_t pad[6] = {rng.next(), rng.next(), rng.next(),
+                              rng.next(), rng.next(), rng.next()};
+      sim.at(t, [&fold, &sim, id, pad] {
+        fold(id);
+        fold(static_cast<std::uint64_t>(sim.now()));
+        fold(pad[0] + pad[5]);
+      });
+    } else {
+      sim.at(t, [&fold, &sim, id] {
+        fold(id);
+        fold(static_cast<std::uint64_t>(sim.now()));
+      });
+    }
+  }
+  // Events scheduling events, including FIFO ties at one timestamp.
+  sim.at(500'000, [&sim, &fold] {
+    for (int k = 0; k < 100; ++k) {
+      const auto kk = static_cast<std::uint64_t>(k);
+      sim.post([&fold, kk] { fold(0xABC000 + kk); });
+      sim.after(k, [&fold, kk] { fold(0xDEF000 + kk); });
+    }
+  });
+  sim.run();
+  EXPECT_EQ(digest, 0x46eedc3e83bfd243ULL);
+  EXPECT_EQ(sim.events_processed(), 20'201u);
+}
+
 }  // namespace
 }  // namespace gridsim

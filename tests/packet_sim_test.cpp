@@ -2,6 +2,8 @@
 // must agree on transfer times across the regimes the paper cares about.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "simcore/simulation.hpp"
 #include "simnet/network.hpp"
 #include "simtcp/packet_sim.hpp"
@@ -104,6 +106,74 @@ TEST(PacketSim, LargerWindowIsFasterUntilLineRate) {
   const auto s = packet_level_transfer(16e6, small);
   const auto l = packet_level_transfer(16e6, large);
   EXPECT_LT(l.completion, s.completion);
+}
+
+/// Constrains the window below queue + BDP so the only losses are the
+/// injected ones.
+PacketSimConfig no_natural_loss_config() {
+  PacketSimConfig cfg;
+  cfg.window_limit_bytes = 600 * cfg.mss;  // < 690-packet queue alone
+  return cfg;
+}
+
+// Regression: a single mid-stream loss is repaired by one fast retransmit.
+// The old timer discipline left the pre-recovery RTO armed, so it fired
+// mid-recovery, collapsed cwnd to the initial window and retransmitted a
+// second copy (retransmits == 2, rto_timeouts == 1 for one loss).
+TEST(PacketSim, SingleLossRecoversByFastRetransmitWithoutRtoFiring) {
+  PacketSimConfig cfg = no_natural_loss_config();
+  const double bytes = 8e6;
+  const auto clean = packet_level_transfer(bytes, cfg);
+  ASSERT_EQ(clean.losses, 0);
+
+  cfg.forced_drops = {500};
+  const auto res = packet_level_transfer(bytes, cfg);
+  EXPECT_EQ(res.losses, 1);
+  EXPECT_EQ(res.retransmits, 1);
+  EXPECT_EQ(res.rto_timeouts, 0);
+  EXPECT_EQ(res.retransmit_drops, 0);
+  // Fast recovery halves cwnd but must not collapse it to the initial
+  // window, and completion must not pay a 200 ms timeout.
+  EXPECT_GT(res.max_cwnd_packets, cfg.initial_window_packets + 1);
+  EXPECT_GE(res.completion, clean.completion);
+  EXPECT_LT(res.completion, clean.completion + cfg.rto);
+}
+
+// Losing the very last packet leaves no later packets to generate dup
+// acks, so only the (single, re-armed) RTO timer can rescue the transfer.
+TEST(PacketSim, TailLossIsRescuedByRto) {
+  PacketSimConfig cfg = no_natural_loss_config();
+  const double bytes = 4e6;
+  const int total = static_cast<int>(std::ceil(bytes / cfg.mss));
+  cfg.forced_drops = {total - 1};
+  const auto res = packet_level_transfer(bytes, cfg);
+  EXPECT_EQ(res.losses, 1);
+  EXPECT_EQ(res.rto_timeouts, 1);
+  EXPECT_EQ(res.retransmits, 1);
+  EXPECT_GT(res.completion, cfg.rto);  // paid exactly one timeout
+}
+
+// The engine-facing contract of the timer/ack overhaul: a bulk transfer
+// schedules O(packets) events and keeps the pending set window-sized. The
+// one-closure-per-ack RTO discipline this replaced scheduled the same
+// order of events but kept tens of thousands of dead 200 ms timers live
+// in the queue at once.
+TEST(PacketSim, EventCountAndQueueDepthStayWindowSized) {
+  std::uint64_t events = 0;
+  std::size_t peak_depth = 0;
+  SimHooks hooks;
+  hooks.on_finish = [&](Simulation& sim) {
+    events = sim.events_processed();
+    peak_depth = sim.peak_queue_depth();
+  };
+  PacketSimConfig cfg;
+  const auto res = packet_level_transfer(64e6, cfg, hooks);
+  ASSERT_GT(res.packets_sent, 0);
+  EXPECT_LT(events,
+            4u * static_cast<std::uint64_t>(res.packets_sent));
+  // Window limit is ~2762 packets; each contributes at most a departure
+  // and a receive/ack event, plus the single RTO timer.
+  EXPECT_LT(peak_depth, 6000u);
 }
 
 }  // namespace

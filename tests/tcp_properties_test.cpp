@@ -7,6 +7,7 @@
 
 #include "simcore/simulation.hpp"
 #include "simnet/network.hpp"
+#include "simtcp/packet_sim.hpp"
 #include "simtcp/tcp.hpp"
 
 namespace gridsim::tcp {
@@ -164,6 +165,52 @@ TEST(TcpProperties, WindowAccessorConsistent) {
   ch.send(64e6, nullptr, nullptr);
   p.sim.run_until(10_s);
   EXPECT_LE(ch.window(), 60e3);  // clamped to the smaller buffer
+}
+
+// A packet-sim config that cannot lose packets on its own: the droptail
+// queue is deeper than the whole window, so every loss is an injected one.
+PacketSimConfig lossless_config() {
+  PacketSimConfig cfg;
+  cfg.queue_packets = 5000;
+  cfg.window_limit_bytes = 4e6;  // 2762 packets << queue
+  return cfg;
+}
+
+// With deterministic, well-separated injected losses, every loss is
+// recovered by exactly one fast retransmit: retransmits == losses ==
+// injected drops, and the RTO never fires.
+TEST(PacketTcpProperties, RetransmitCountMatchesInjectedLosses) {
+  const double bytes = 4e6;  // 2763 packets
+  PacketSimConfig cfg = lossless_config();
+  const auto clean = packet_level_transfer(bytes, cfg);
+  ASSERT_EQ(clean.losses, 0);
+  ASSERT_EQ(clean.retransmits, 0);
+
+  cfg.forced_drops = {100, 400, 800, 1200};
+  const auto res = packet_level_transfer(bytes, cfg);
+  EXPECT_EQ(res.losses, 4);
+  EXPECT_EQ(res.retransmits, 4);
+  EXPECT_EQ(res.rto_timeouts, 0);
+  EXPECT_EQ(res.retransmit_drops, 0);
+  // Losses cost time (halved windows must regrow), but rto_timeouts == 0
+  // above already guarantees none of it was spent waiting on the timer.
+  EXPECT_GT(res.completion, clean.completion);
+}
+
+// Completion time is (weakly) monotone in the socket-buffer bound: a
+// larger window never makes a lossless transfer slower.
+TEST(PacketTcpProperties, CompletionMonotoneInWindowLimit) {
+  const double bytes = 8e6;
+  SimTime prev = kSimTimeNever;
+  for (double window : {128e3, 256e3, 512e3, 1e6, 2e6, 4e6}) {
+    PacketSimConfig cfg = lossless_config();
+    cfg.window_limit_bytes = window;
+    const auto res = packet_level_transfer(bytes, cfg);
+    ASSERT_GT(res.completion, 0) << window;
+    EXPECT_EQ(res.losses, 0) << window;
+    EXPECT_LE(res.completion, prev) << window;
+    prev = res.completion;
+  }
 }
 
 // Delivered byte accounting matches what was sent.
