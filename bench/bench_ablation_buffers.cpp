@@ -1,37 +1,11 @@
-// Ablation: socket buffer size sweep on the Rennes--Nancy path -- the
-// mechanism behind the Fig 3 -> Fig 6 recovery. Peak ping-pong bandwidth
-// as a function of the (setsockopt-style) buffer size, against the
-// window/RTT prediction.
-#include "common.hpp"
+// Ablation: socket buffer size sweep on the Rennes--Nancy path.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "ablation_buffers" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'ablation_buffers*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  const double rtt_s = 11.6e-3;
-  std::vector<std::vector<std::string>> rows;
-  for (double buf : {64e3, 128e3, 256e3, 512e3, 1024e3, 2048e3, 4096e3,
-                     8192e3}) {
-    mpi::ImplProfile p = profiles::openmpi();  // setsockopt strategy
-    auto cfg = profiles::configure(p, profiles::TuningLevel::kTcpTuned);
-    cfg.profile.setsockopt_bytes = buf;
-    cfg.profile.eager_threshold = 1e12;  // isolate the buffer effect
-    harness::PingpongOptions options;
-    options.sizes = {64e6};
-    options.rounds = 8;
-    const auto points = harness::pingpong_sweep(
-        topo::GridSpec::rennes_nancy(1), {0, 0, 1, 0}, cfg, options);
-    const double predicted =
-        std::min(buf * 8.0 / rtt_s, tcp::ethernet_goodput(1e9) * 8.0) / 1e6;
-    rows.push_back({harness::format_bytes(buf) + "B",
-                    harness::format_double(points[0].max_bandwidth_mbps, 1),
-                    harness::format_double(predicted, 1)});
-  }
-  harness::print_table(
-      "Ablation: socket buffer size vs peak grid bandwidth (64 MB messages)",
-      {"buffer", "measured (Mbps)", "window/RTT bound (Mbps)"}, rows);
-  std::printf(
-      "\nThe paper's rule (Section 4.2.1): buffers must reach RTT x\n"
-      "bandwidth = 1.45 MB on this path; 4 MB was chosen for headroom.\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("ablation_buffers") == 0 ? 0 : 1;
 }

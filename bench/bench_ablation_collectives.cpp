@@ -1,76 +1,11 @@
-// Ablation: collective algorithm suites on the grid, isolated from the
-// rest of the profile. Runs FT's broadcast pattern and IS's exchange
-// pattern under each bcast/allreduce algorithm on an otherwise identical
-// MPICH2-like profile.
-#include "common.hpp"
-
-#include <algorithm>
-
-#include "collectives/collectives.hpp"
-#include "harness/npb_campaign.hpp"
-#include "simcore/simulation.hpp"
+// Ablation: collective algorithm suites on the grid.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "ablation_collectives" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'ablation_collectives*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  const auto spec = topo::GridSpec::rennes_nancy(8);
-
-  std::vector<std::vector<std::string>> rows;
-  struct Case {
-    const char* label;
-    mpi::BcastAlgo bcast;
-  };
-  for (const Case c : {Case{"binomial tree", mpi::BcastAlgo::kBinomial},
-                       Case{"scatter + ring allgather (WAN-oblivious)",
-                            mpi::BcastAlgo::kVanDeGeijn},
-                       Case{"segmented pipeline chain",
-                            mpi::BcastAlgo::kPipeline},
-                       Case{"hierarchical, parallel WAN streams (GridMPI)",
-                            mpi::BcastAlgo::kHierarchical}}) {
-    mpi::ImplProfile p = profiles::mpich2();
-    p.collectives.bcast = c.bcast;
-    const auto cfg = profiles::configure(p, profiles::TuningLevel::kTcpTuned);
-    const auto res = harness::run_npb(spec, 16, npb::Kernel::kFT,
-                                      npb::Class::kB, cfg);
-    rows.push_back(
-        {c.label, harness::format_double(to_seconds(res.makespan), 2)});
-  }
-  harness::print_table("Ablation: bcast algorithm vs FT class B on 8+8 nodes",
-                       {"bcast algorithm", "FT runtime (s)"}, rows);
-
-  std::vector<std::vector<std::string>> ar_rows;
-  struct ArCase {
-    const char* label;
-    mpi::AllreduceAlgo algo;
-  };
-  for (const ArCase c :
-       {ArCase{"recursive doubling", mpi::AllreduceAlgo::kRecursiveDoubling},
-        ArCase{"Rabenseifner", mpi::AllreduceAlgo::kRabenseifner},
-        ArCase{"hierarchical (GridMPI)", mpi::AllreduceAlgo::kHierarchical}}) {
-    mpi::ImplProfile p = profiles::mpich2();
-    p.collectives.allreduce = c.algo;
-    const auto cfg = profiles::configure(p, profiles::TuningLevel::kTcpTuned);
-    // 100 back-to-back 64 kB allreduces over 8+8 nodes, timed directly.
-    Simulation sim;
-    topo::Grid grid(sim, spec);
-    mpi::Job job(grid, mpi::block_placement(grid, 16), cfg.profile,
-                 cfg.kernel);
-    std::vector<SimTime> finish(16, 0);
-    for (int rank = 0; rank < 16; ++rank) {
-      sim.spawn([](mpi::Rank& r, SimTime* out) -> Task<void> {
-        for (int i = 0; i < 100; ++i) co_await coll::allreduce(r, 64e3);
-        *out = r.sim().now();
-      }(job.rank(rank), &finish[static_cast<size_t>(rank)]));
-    }
-    sim.run();
-    const SimTime makespan =
-        *std::max_element(finish.begin(), finish.end());
-    ar_rows.push_back(
-        {c.label, harness::format_double(to_seconds(makespan), 2)});
-  }
-  harness::print_table(
-      "Ablation: allreduce algorithm, 100 x 64 kB allreduce on 8+8 nodes",
-      {"allreduce algorithm", "total (s)"}, ar_rows);
-  return 0;
+  return gridsim::scenarios::run_and_print("ablation_collectives") == 0 ? 0 : 1;
 }

@@ -1,73 +1,11 @@
-// Extension (the paper's future work, Section 5): heterogeneity
-// management. Route intra-site traffic over a Myrinet-class native fabric
-// (2 Gbps, 5 us) instead of 1 GbE TCP, and sweep the per-message gateway
-// cost that heterogeneity management adds on WAN messages.
+// Extension: heterogeneity management (native fabric + gateways).
 //
-// The paper's criterion: "the overhead introduced by the management of
-// heterogeneity has to be less important than the TCP cost" — the sweep
-// shows exactly where the native fabric stops paying off.
-#include "common.hpp"
-
-#include "harness/npb_campaign.hpp"
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "ablation_heterogeneity" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'ablation_heterogeneity*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  auto with_native = [](bool native) {
-    auto spec = topo::GridSpec::rennes_nancy(8);
-    if (native) {
-      spec.prefer_native_intra = true;
-      for (auto& site : spec.sites) site.native_bps = 2e9;  // Myrinet 2000
-    }
-    return spec;
-  };
-
-  // 1. What the native fabric buys on latency-sensitive kernels.
-  std::vector<std::vector<std::string>> rows;
-  for (npb::Kernel k : {npb::Kernel::kCG, npb::Kernel::kLU, npb::Kernel::kMG,
-                        npb::Kernel::kBT}) {
-    const auto cfg = profiles::configure(profiles::mpich_madeleine(),
-                                         profiles::TuningLevel::kTcpTuned);
-    const auto eth =
-        harness::run_npb(with_native(false), 16, k, npb::Class::kA, cfg);
-    const auto mx =
-        harness::run_npb(with_native(true), 16, k, npb::Class::kA, cfg);
-    rows.push_back({npb::name(k),
-                    harness::format_double(to_seconds(eth.makespan), 2),
-                    harness::format_double(to_seconds(mx.makespan), 2),
-                    harness::format_double(to_seconds(eth.makespan) /
-                                               to_seconds(mx.makespan),
-                                           2)});
-  }
-  harness::print_table(
-      "Extension: Myrinet-class intra-site fabric, MPICH-Madeleine, NPB "
-      "class A 8+8",
-      {"kernel", "ethernet (s)", "native intra (s)", "speed-up"}, rows);
-
-  // 2. Gateway-cost sweep: how much per-message WAN overhead the gateway
-  // may add before the native fabric is a net loss on CG.
-  std::vector<std::vector<std::string>> sweep;
-  const auto base_cfg = profiles::configure(profiles::mpich_madeleine(),
-                                            profiles::TuningLevel::kTcpTuned);
-  const auto eth_cg = harness::run_npb(with_native(false), 16,
-                                       npb::Kernel::kCG, npb::Class::kA,
-                                       base_cfg);
-  for (double gw_us : {0.0, 25.0, 50.0, 100.0, 200.0, 400.0}) {
-    auto cfg = base_cfg;
-    cfg.profile.wan_extra_overhead = microseconds(
-        static_cast<std::int64_t>(gw_us));
-    const auto mx = harness::run_npb(with_native(true), 16, npb::Kernel::kCG,
-                                     npb::Class::kA, cfg);
-    sweep.push_back({harness::format_double(gw_us, 0) + " us",
-                     harness::format_double(to_seconds(mx.makespan), 2),
-                     to_seconds(mx.makespan) < to_seconds(eth_cg.makespan)
-                         ? "yes"
-                         : "no"});
-  }
-  harness::print_table(
-      "Extension: gateway overhead sweep, CG class A (ethernet baseline: " +
-          harness::format_double(to_seconds(eth_cg.makespan), 2) + " s)",
-      {"gateway cost/msg", "runtime (s)", "native still wins?"}, sweep);
-  return 0;
+  return gridsim::scenarios::run_and_print("ablation_heterogeneity") == 0 ? 0 : 1;
 }

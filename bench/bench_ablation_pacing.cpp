@@ -1,54 +1,11 @@
-// Ablation: GridMPI's software pacing, isolated. Runs the Fig 9 slow-start
-// scenario and the IS kernel with pacing toggled on an otherwise identical
-// profile, quantifying how much of GridMPI's advantage pacing alone buys.
-#include "common.hpp"
-
-#include "harness/npb_campaign.hpp"
+// Ablation: GridMPI's software pacing, isolated.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "ablation_pacing" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'ablation_pacing*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  // --- Slow-start convergence (Fig 9 mechanism) -------------------------
-  auto spec = topo::GridSpec::rennes_nancy(2);
-  for (auto& site : spec.sites) site.uplink_bps = 1e9;
-  harness::CrossTraffic cross;
-  cross.burst_bytes = 24e6;
-  cross.period = milliseconds(600);
-
-  std::vector<std::vector<std::string>> rows;
-  for (bool pacing : {false, true}) {
-    mpi::ImplProfile p = profiles::gridmpi();
-    p.name = pacing ? "GridMPI (pacing on)" : "GridMPI (pacing off)";
-    p.pacing = pacing;
-    const auto cfg = profiles::configure(p, profiles::TuningLevel::kTcpTuned);
-    const auto series = harness::slowstart_series(spec, {0, 0, 1, 0}, cfg,
-                                                  1e6, 200, cross);
-    double t500 = -1;
-    for (const auto& s : series)
-      if (s.mbps >= 500) {
-        t500 = to_seconds(s.at);
-        break;
-      }
-    rows.push_back({p.name,
-                    t500 < 0 ? "never" : harness::format_double(t500, 2)});
-  }
-  harness::print_table("Ablation: pacing vs slow-start convergence",
-                       {"profile", "t_500Mbps (s)"}, rows);
-
-  // --- IS under pacing (Fig 10 mechanism) --------------------------------
-  std::vector<std::vector<std::string>> is_rows;
-  for (bool pacing : {false, true}) {
-    mpi::ImplProfile p = profiles::gridmpi();
-    p.name = pacing ? "GridMPI (pacing on)" : "GridMPI (pacing off)";
-    p.pacing = pacing;
-    const auto cfg = profiles::configure(p, profiles::TuningLevel::kTcpTuned);
-    const auto res = harness::run_npb(topo::GridSpec::rennes_nancy(8), 16,
-                                      npb::Kernel::kIS, npb::Class::kB, cfg);
-    is_rows.push_back(
-        {p.name, harness::format_double(to_seconds(res.makespan), 2)});
-  }
-  harness::print_table("Ablation: pacing vs IS class B on 8+8 nodes",
-                       {"profile", "runtime (s)"}, is_rows);
-  return 0;
+  return gridsim::scenarios::run_and_print("ablation_pacing") == 0 ? 0 : 1;
 }

@@ -1,49 +1,11 @@
-// Extension (the paper's future work, Section 5: "study optimizations
-// within TCP"): congestion-control algorithm comparison on the tuned grid
-// path — BIC (the 2.6.18 default the paper ran) vs Reno — for bulk
-// transfer completion and recovery after loss.
-#include "common.hpp"
+// Extension: congestion-control algorithm comparison.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "ablation_tcp_algo" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'ablation_tcp_algo*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  // Bulk transfer over the shared (1 Gbps uplink) path with cross traffic,
-  // where losses actually happen.
-  auto spec = topo::GridSpec::rennes_nancy(2);
-  for (auto& site : spec.sites) site.uplink_bps = 1e9;
-  harness::CrossTraffic cross;
-  cross.burst_bytes = 24e6;
-  cross.period = milliseconds(600);
-
-  std::vector<std::vector<std::string>> rows;
-  for (auto algo : {tcp::CongestionAlgo::kBic, tcp::CongestionAlgo::kReno,
-                    tcp::CongestionAlgo::kCubic}) {
-    auto cfg = profiles::configure(profiles::raw_tcp(),
-                                   profiles::TuningLevel::kFullyTuned);
-    cfg.kernel.algo = algo;
-    const auto series = harness::slowstart_series(spec, {0, 0, 1, 0}, cfg,
-                                                  1e6, 200, cross);
-    double t500 = -1, mean = 0;
-    for (const auto& s : series) {
-      if (t500 < 0 && s.mbps >= 500) t500 = to_seconds(s.at);
-      mean += s.mbps;
-    }
-    mean /= series.empty() ? 1 : double(series.size());
-    const char* name = algo == tcp::CongestionAlgo::kBic    ? "BIC"
-                       : algo == tcp::CongestionAlgo::kReno ? "Reno"
-                                                            : "CUBIC";
-    rows.push_back({name,
-                    t500 < 0 ? "never" : harness::format_double(t500, 2),
-                    harness::format_double(mean, 0)});
-  }
-  harness::print_table(
-      "Extension: congestion control algorithm under burst losses",
-      {"algorithm", "t_500Mbps (s)", "mean per-msg bandwidth (Mbps)"}, rows);
-  std::printf(
-      "\nBIC's binary-increase recovery reclaims the window faster after a\n"
-      "burst loss than Reno's linear growth; on long-RTT paths that is the\n"
-      "difference between seconds and tens of seconds of degraded\n"
-      "bandwidth (the motivation for the 2.6-series kernels adopting it).\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("ablation_tcp_algo") == 0 ? 0 : 1;
 }

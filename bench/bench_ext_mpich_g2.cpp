@@ -1,45 +1,11 @@
-// Extension (the paper's future work, Section 5): MPICH-G2 on the grid.
+// Extension: MPICH-G2 parallel WAN streams vs MPICH2.
 //
-// MPICH-G2 stripes large messages over several TCP connections, so each
-// stream brings its own congestion/buffer window: with *default* kernel
-// tunables — where a single connection is pinned to ~120 Mbps by the
-// 175 kB auto-tuning bound — four streams quadruple the large-message
-// bandwidth without touching a sysctl. After full tuning the single-stream
-// implementations catch up (the window is no longer the bottleneck).
-#include "common.hpp"
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "ext_mpich_g2" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'ext_mpich_g2*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  const auto spec = topo::GridSpec::rennes_nancy(1);
-  const harness::PingpongEndpoints ends{0, 0, 1, 0};
-  harness::PingpongOptions options;
-  options.sizes = harness::pow2_sizes(64e3, 64.0 * 1024 * 1024);
-  options.rounds = 10;
-
-  std::vector<std::vector<std::string>> rows;
-  for (std::size_t i = 0; i < options.sizes.size(); ++i)
-    rows.push_back({harness::format_bytes(options.sizes[i])});
-
-  std::vector<std::string> headers{"size"};
-  for (auto level :
-       {profiles::TuningLevel::kDefault, profiles::TuningLevel::kFullyTuned}) {
-    for (const auto& impl : {profiles::mpich2(), profiles::mpich_g2()}) {
-      headers.push_back(impl.name + " (" + profiles::to_string(level) + ")");
-      const auto points = harness::pingpong_sweep(
-          spec, ends, profiles::configure(impl, level), options);
-      for (std::size_t i = 0; i < points.size(); ++i)
-        rows[i].push_back(
-            harness::format_double(points[i].max_bandwidth_mbps, 1));
-    }
-  }
-  harness::print_table(
-      "Extension: MPICH-G2 parallel WAN streams vs MPICH2 (Mbps)", headers,
-      rows);
-  std::printf(
-      "\nExpected shape: with default kernels MPICH-G2's 4 streams lift\n"
-      "large messages ~4x above the single-connection ceiling; with full\n"
-      "tuning both implementations converge near line rate.\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("ext_mpich_g2") == 0 ? 0 : 1;
 }

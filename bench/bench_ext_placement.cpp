@@ -1,58 +1,11 @@
-// Extension: task placement on the grid. The paper's introduction notes
-// that CPU heterogeneity and topology "could be of interest ... in the
-// task placement phase"; this bench quantifies it for the NPB by
-// comparing the paper's block placement (8 consecutive ranks per site)
-// against a cyclic round-robin placement, which puts every nearest
-// neighbour across the WAN.
-#include "nas_common.hpp"
-
-#include "simcore/simulation.hpp"
-
-namespace {
-
-using namespace gridsim;
-
-Task<void> kernel_body(mpi::Rank& rank, npb::Kernel k, SimTime* out) {
-  co_await npb::run_kernel(rank, k, npb::Class::kA);
-  *out = rank.sim().now();
-}
-
-double run_with_placement(npb::Kernel k, bool cyclic) {
-  Simulation sim;
-  topo::Grid grid(sim, topo::GridSpec::rennes_nancy(8));
-  const auto cfg = bench::nas_config(profiles::mpich2());
-  const auto placement = cyclic ? mpi::cyclic_placement(grid, 16)
-                                : mpi::block_placement(grid, 16);
-  mpi::Job job(grid, placement, cfg.profile, cfg.kernel);
-  std::vector<SimTime> finish(16, 0);
-  for (int r = 0; r < 16; ++r)
-    sim.spawn(kernel_body(job.rank(r), k, &finish[static_cast<size_t>(r)]));
-  sim.run();
-  return to_seconds(*std::max_element(finish.begin(), finish.end()));
-}
-
-}  // namespace
+// Extension: block vs cyclic task placement for the NPB.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "ext_placement" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'ext_placement*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  std::vector<std::vector<std::string>> rows;
-  for (npb::Kernel k : {npb::Kernel::kCG, npb::Kernel::kMG, npb::Kernel::kLU,
-                        npb::Kernel::kSP, npb::Kernel::kBT}) {
-    const double block = run_with_placement(k, false);
-    const double cyclic = run_with_placement(k, true);
-    rows.push_back({npb::name(k), harness::format_double(block, 2),
-                    harness::format_double(cyclic, 2),
-                    harness::format_double(cyclic / block, 2)});
-  }
-  harness::print_table(
-      "Extension: block vs cyclic placement, NPB class A, 8+8 nodes "
-      "(MPICH2)",
-      {"kernel", "block (s)", "cyclic (s)", "cyclic/block"}, rows);
-  std::printf(
-      "\nBlock placement keeps mesh neighbours on the same cluster; cyclic\n"
-      "placement forces nearest-neighbour traffic across the 11.6 ms WAN.\n"
-      "The gap is the value of topology-aware task placement.\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("ext_placement") == 0 ? 0 : 1;
 }

@@ -1,61 +1,11 @@
-// Extension: where does each NPB kernel's traffic go? Splits every
-// kernel's payload volume into intra-site and WAN bytes on the 8+8
-// deployment — the quantity that, multiplied by the WAN's latency and
-// bandwidth penalty, explains the whole of Fig 12.
-#include "nas_common.hpp"
-
-#include "simcore/simulation.hpp"
-
-namespace {
-
-using namespace gridsim;
-
-Task<void> kernel_body(mpi::Rank* r, npb::Kernel k) {
-  co_await npb::run_kernel(*r, k, npb::Class::kA);
-}
-
-}  // namespace
+// Extension: where each NPB kernel's traffic goes.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "ext_traffic_matrix" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'ext_traffic_matrix*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  std::vector<std::vector<std::string>> rows;
-  for (npb::Kernel k : npb::all_kernels()) {
-    Simulation sim;
-    topo::Grid grid(sim, topo::GridSpec::rennes_nancy(8));
-    const auto cfg = nas_config(profiles::mpich2());
-    mpi::Job job(grid, mpi::block_placement(grid, 16), cfg.profile,
-                 cfg.kernel);
-    for (int r = 0; r < 16; ++r) sim.spawn(kernel_body(&job.rank(r), k));
-    sim.run();
-    double lan = 0, wan = 0;
-    std::uint64_t wan_pairs = 0;
-    for (const auto& [pair, bytes] : job.traffic().pair_bytes) {
-      const bool crosses =
-          grid.site_of(job.rank(pair.first).host()) !=
-          grid.site_of(job.rank(pair.second).host());
-      (crosses ? wan : lan) += bytes;
-      if (crosses) ++wan_pairs;
-    }
-    char pairs[16];
-    std::snprintf(pairs, sizeof pairs, "%llu",
-                  static_cast<unsigned long long>(wan_pairs));
-    rows.push_back({npb::name(k), harness::format_double(lan / 1e6, 1),
-                    harness::format_double(wan / 1e6, 1),
-                    harness::format_double(
-                        (lan + wan) > 0 ? wan / (lan + wan) * 100 : 0, 1) +
-                        "%",
-                    pairs});
-  }
-  harness::print_table(
-      "Extension: traffic locality per kernel, class A, 8+8 block placement",
-      {"kernel", "intra-site (MB)", "WAN (MB)", "WAN share", "WAN pairs"},
-      rows);
-  std::printf(
-      "\nKernels whose WAN share is small and in large messages (LU, BT,\n"
-      "SP) tolerate the grid; kernels pushing collective volume across the\n"
-      "WAN (IS, FT) or many small messages (CG) do not -- Fig 12's story\n"
-      "in bytes.\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("ext_traffic_matrix") == 0 ? 0 : 1;
 }

@@ -1,37 +1,11 @@
-// Fig 10: NPB class B on 8+8 nodes across the Rennes--Nancy WAN; per-kernel
-// speed-up of each implementation relative to MPICH2 (ratio of MPICH2's
-// runtime to the implementation's; > 1 means faster than MPICH2).
+// Fig 10: NPB class B on 8+8 nodes across the WAN.
 //
-// Paper shape: GridMPI wins clearly on the collective-dominated kernels
-// (FT via its WAN-aware broadcast, IS via pacing under the huge alltoallv
-// bursts); the point-to-point kernels are close to even; MPICH-Madeleine
-// struggles on the rendez-vous-heavy BT/SP (the paper's runs timed out).
-#include "nas_common.hpp"
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "fig10" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'fig10*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  const auto spec = topo::GridSpec::rennes_nancy(8);
-  const auto impls = profiles::all_implementations();
-  std::vector<std::map<npb::Kernel, double>> seconds;
-  std::vector<std::string> names;
-  for (const auto& impl : impls) {
-    names.push_back(impl.name);
-    seconds.push_back(nas_suite_seconds(spec, 16, npb::Class::kB, impl));
-  }
-  print_kernel_table("NPB class B runtimes, 8+8 nodes across the WAN (s)",
-                     names, seconds, 1);
-
-  // Relative to MPICH2 (reference = 1.0).
-  std::vector<std::map<npb::Kernel, double>> relative = seconds;
-  for (auto& m : relative)
-    for (auto& [k, v] : m) v = seconds[0].at(k) / v;
-  print_kernel_table(
-      "Fig 10: speed-up relative to MPICH2 (>1 = faster than MPICH2)", names,
-      relative);
-  std::printf(
-      "\nPaper shape: GridMPI >> 1 on FT and IS; near 1 elsewhere;\n"
-      "MPICH-Madeleine degraded on BT/SP (timed out in the paper).\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("fig10") == 0 ? 0 : 1;
 }

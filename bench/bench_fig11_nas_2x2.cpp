@@ -1,28 +1,11 @@
-// Fig 11: NPB class B on 2+2 nodes across the Rennes--Nancy WAN; per-kernel
-// speed-up relative to MPICH2. With only four processes the collective
-// optimisations have less to work with, so the implementations bunch up
-// around 1.0 (the paper's bars all sit between ~0.8 and ~1.3).
-#include "nas_common.hpp"
+// Fig 11: NPB class B on 2+2 nodes across the WAN.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "fig11" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'fig11*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  const auto spec = topo::GridSpec::rennes_nancy(2);
-  const auto impls = profiles::all_implementations();
-  std::vector<std::map<npb::Kernel, double>> seconds;
-  std::vector<std::string> names;
-  for (const auto& impl : impls) {
-    names.push_back(impl.name);
-    seconds.push_back(nas_suite_seconds(spec, 4, npb::Class::kB, impl));
-  }
-  print_kernel_table("NPB class B runtimes, 2+2 nodes across the WAN (s)",
-                     names, seconds, 1);
-  std::vector<std::map<npb::Kernel, double>> relative = seconds;
-  for (auto& m : relative)
-    for (auto& [k, v] : m) v = seconds[0].at(k) / v;
-  print_kernel_table(
-      "Fig 11: speed-up relative to MPICH2 (>1 = faster than MPICH2)", names,
-      relative);
-  return 0;
+  return gridsim::scenarios::run_and_print("fig11") == 0 ? 0 : 1;
 }

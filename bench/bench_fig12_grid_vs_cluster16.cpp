@@ -1,38 +1,11 @@
-// Fig 12: for each implementation, the relative performance of 16 nodes
-// split 8+8 across the WAN versus 16 nodes in one cluster (cluster runtime
-// divided by grid runtime; 1.0 = the WAN costs nothing).
+// Fig 12: 8+8 grid nodes relative to 16 cluster nodes.
 //
-// Paper shape: EP ~ 1 (no communication); CG and MG poor (latency-bound
-// small messages); LU good despite its message count (pipelined ~1 kB
-// messages); SP/BT good (big messages); IS poor (huge collective volume);
-// FT recovers only with GridMPI's broadcast.
-#include "nas_common.hpp"
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "fig12" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'fig12*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  const auto grid_spec = topo::GridSpec::rennes_nancy(8);
-  const auto cluster_spec = topo::GridSpec::single_cluster(16);
-  const auto impls = profiles::all_implementations();
-  std::vector<std::map<npb::Kernel, double>> ratio;
-  std::vector<std::string> names;
-  for (const auto& impl : impls) {
-    names.push_back(impl.name);
-    const auto grid = nas_suite_seconds(grid_spec, 16, npb::Class::kB, impl);
-    const auto cluster =
-        nas_suite_seconds(cluster_spec, 16, npb::Class::kB, impl);
-    std::map<npb::Kernel, double> r;
-    for (npb::Kernel k : npb::all_kernels())
-      r[k] = cluster.at(k) / grid.at(k);
-    ratio.push_back(std::move(r));
-  }
-  print_kernel_table(
-      "Fig 12: 8+8 grid nodes relative to 16 cluster nodes (1.0 = no WAN "
-      "penalty)",
-      names, ratio);
-  std::printf(
-      "\nPaper shape: EP ~1; CG/MG low; LU/SP/BT high; IS low; FT better\n"
-      "under GridMPI. Grid overhead < 20%% for about half the kernels.\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("fig12") == 0 ? 0 : 1;
 }

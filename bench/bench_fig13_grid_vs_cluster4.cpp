@@ -1,38 +1,11 @@
-// Fig 13: for each implementation, the speed-up of 16 nodes split 8+8
-// across the WAN over 4 nodes in one cluster (the grid's value
-// proposition: 4x the resources, imperfectly coupled). A speed-up of 4
-// means the WAN costs nothing.
+// Fig 13: speed-up of 8+8 grid nodes over 4 cluster nodes.
 //
-// Paper shape: LU and BT close to 4; FT and SP at least 3; CG and MG barely
-// above 1 (small messages are destroyed by the latency); every kernel still
-// gains something from the extra nodes.
-#include "nas_common.hpp"
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "fig13" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'fig13*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  const auto grid_spec = topo::GridSpec::rennes_nancy(8);
-  const auto cluster_spec = topo::GridSpec::single_cluster(4);
-  const auto impls = profiles::all_implementations();
-  std::vector<std::map<npb::Kernel, double>> speedup;
-  std::vector<std::string> names;
-  for (const auto& impl : impls) {
-    names.push_back(impl.name);
-    const auto grid = nas_suite_seconds(grid_spec, 16, npb::Class::kB, impl);
-    const auto cluster =
-        nas_suite_seconds(cluster_spec, 4, npb::Class::kB, impl);
-    std::map<npb::Kernel, double> r;
-    for (npb::Kernel k : npb::all_kernels())
-      r[k] = cluster.at(k) / grid.at(k);
-    speedup.push_back(std::move(r));
-  }
-  print_kernel_table(
-      "Fig 13: speed-up of 8+8 grid nodes over 4 cluster nodes (4.0 = "
-      "perfect)",
-      names, speedup);
-  std::printf(
-      "\nPaper shape: LU/BT near 4; FT/SP >= 3; CG/MG small; all > 1 --\n"
-      "running on the grid pays off despite the latency.\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("fig13") == 0 ? 0 : 1;
 }

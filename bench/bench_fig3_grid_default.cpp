@@ -1,13 +1,11 @@
-// Fig 3: MPI bandwidth between Rennes and Nancy with default parameters.
-// Paper: every implementation (and raw TCP) collapses below 120 Mbps.
-#include "common.hpp"
+// Fig 3: grid (Rennes--Nancy) bandwidth, default parameters.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "fig3" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'fig3*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  gridsim::bench::bandwidth_figure(
-      "Fig 3: grid (Rennes--Nancy), default parameters", /*grid=*/true,
-      gridsim::profiles::TuningLevel::kDefault);
-  std::printf(
-      "\nPaper shape: no curve exceeds ~120 Mbps; the 174760 B auto-tuning\n"
-      "bound caps the window on the 11.6 ms path.\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("fig3") == 0 ? 0 : 1;
 }

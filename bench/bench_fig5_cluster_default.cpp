@@ -1,16 +1,11 @@
-// Fig 5: MPI bandwidth inside the Rennes cluster with default parameters.
-// Paper: every implementation reaches ~940 Mbps; a threshold artifact is
-// visible around each implementation's eager/rendez-vous switch (except
-// GridMPI, which has no rendez-vous mode by default).
-#include "common.hpp"
+// Fig 5: cluster (Rennes) bandwidth, default parameters.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "fig5" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'fig5*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  gridsim::bench::bandwidth_figure(
-      "Fig 5: cluster (Rennes), default parameters", /*grid=*/false,
-      gridsim::profiles::TuningLevel::kDefault);
-  std::printf(
-      "\nPaper shape: all curves saturate at ~940 Mbps (1 GbE goodput);\n"
-      "small dips above 64-256 kB mark each implementation's rendez-vous\n"
-      "threshold; GridMPI has none.\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("fig5") == 0 ? 0 : 1;
 }

@@ -1,17 +1,11 @@
-// Fig 6: MPI bandwidth between Rennes and Nancy after TCP tuning (4 MB
-// socket buffers via each implementation's knob). Paper: ~900 Mbps peak,
-// half-bandwidth only around 1 MB, and the rendez-vous threshold dip is
-// still visible (except for GridMPI).
-#include "common.hpp"
+// Fig 6: grid bandwidth after TCP tuning.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "fig6" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'fig6*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  gridsim::bench::bandwidth_figure(
-      "Fig 6: grid (Rennes--Nancy), after TCP tuning", /*grid=*/true,
-      gridsim::profiles::TuningLevel::kTcpTuned);
-  std::printf(
-      "\nPaper shape: peaks ~900 Mbps; half bandwidth around 1 MB (vs 8 kB\n"
-      "in the cluster); deep dips above each implementation's eager limit\n"
-      "(the rendez-vous handshake costs an extra 11.6 ms round trip);\n"
-      "GridMPI closest to raw TCP.\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("fig6") == 0 ? 0 : 1;
 }

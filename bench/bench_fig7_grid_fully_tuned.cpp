@@ -1,15 +1,11 @@
-// Fig 7: MPI bandwidth between Rennes and Nancy after TCP tuning + raised
-// eager/rendez-vous thresholds (Table 5). Paper: all implementations match
-// raw TCP; OpenMPI drops for the largest messages (its threshold knob caps
-// at 32 MB, so 64 MB messages still use rendez-vous).
-#include "common.hpp"
+// Fig 7: grid bandwidth after TCP tuning + MPI tuning.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "fig7" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'fig7*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  gridsim::bench::bandwidth_figure(
-      "Fig 7: grid (Rennes--Nancy), after TCP tuning + MPI tuning",
-      /*grid=*/true, gridsim::profiles::TuningLevel::kFullyTuned);
-  std::printf(
-      "\nPaper shape: every curve tracks raw TCP; OpenMPI alone sags at\n"
-      "64 MB (32 MB eager-limit cap).\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("fig7") == 0 ? 0 : 1;
 }

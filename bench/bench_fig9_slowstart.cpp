@@ -1,68 +1,11 @@
-// Fig 9: impact of TCP slow start / congestion avoidance. 200 messages of
-// 1 MB between Rennes and Nancy from cold connections, with bursty cross
-// traffic sharing the WAN path (Grid'5000's backbone was shared; in a
-// contention-free fluid model no losses occur below the path BDP and the
-// transient would collapse to a few round trips).
+// Fig 9: impact of TCP slow start under bursty cross traffic.
 //
-// Configuration: TCP + MPI fully tuned (the paper runs this experiment
-// after Section 4.2's tuning), 1 Gbps site uplinks so the cross flow
-// actually contends.
-//
-// Paper shape: raw TCP needs ~5 s to reach its maximum; the MPI
-// implementations take ~4 s to reach 500 Mbps -- except GridMPI, whose
-// pacing survives the burst losses and converges about twice as fast.
-#include "common.hpp"
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "fig9" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'fig9*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  auto spec = topo::GridSpec::rennes_nancy(2);
-  for (auto& site : spec.sites) site.uplink_bps = 1e9;  // shared bottleneck
-  const harness::PingpongEndpoints ends{0, 0, 1, 0};
-  harness::CrossTraffic cross;
-  cross.burst_bytes = 24e6;
-  cross.period = milliseconds(600);
-
-  std::vector<std::string> headers{"impl", "t_500Mbps (s)", "paper (s)",
-                                   "peak (Mbps)"};
-  const char* paper_t500[] = {"~4-5 (max)", "~4", "~2", "~4", "~4"};
-  std::vector<std::vector<std::string>> summary;
-
-  int idx = 0;
-  for (const auto& impl : profiles_with_tcp()) {
-    const auto cfg =
-        profiles::configure(impl, profiles::TuningLevel::kFullyTuned);
-    const auto series =
-        harness::slowstart_series(spec, ends, cfg, 1e6, 200, cross);
-    std::vector<std::vector<std::string>> rows;
-    double peak = 0;
-    for (const auto& s : series) {
-      rows.push_back({harness::format_double(to_seconds(s.at), 3),
-                      harness::format_double(s.mbps, 1)});
-      peak = std::max(peak, s.mbps);
-    }
-    // First time the per-message bandwidth durably exceeds 500 Mbps.
-    double t500 = -1;
-    for (const auto& s : series) {
-      if (s.mbps >= 500) {
-        t500 = to_seconds(s.at);
-        break;
-      }
-    }
-    harness::print_csv("Fig 9 series: " + impl.name + " (time s, Mbps)",
-                       {"t", "mbps"}, rows);
-    summary.push_back({impl.name,
-                       t500 < 0 ? "never" : harness::format_double(t500, 2),
-                       paper_t500[idx], harness::format_double(peak, 0)});
-    ++idx;
-  }
-  harness::print_table(
-      "Fig 9 summary: time to reach 500 Mbps per-message bandwidth", headers,
-      summary);
-  std::printf(
-      "\nPaper shape: GridMPI reaches 500 Mbps ~2x sooner than the other\n"
-      "implementations (pacing avoids the slow-start overshoot and burst\n"
-      "losses); all implementations need seconds, not round trips.\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("fig9") == 0 ? 0 : 1;
 }

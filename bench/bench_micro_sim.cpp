@@ -35,9 +35,10 @@ void BM_MaxMinSolve(benchmark::State& state) {
   const auto wan = n.add_link("wan", 1e9, milliseconds(5), 1e6);
   std::vector<net::FlowId> flows;
   for (int i = 0; i < nflows; ++i) {
-    const auto s = n.add_host("s" + std::to_string(i));
-    const auto d = n.add_host("d" + std::to_string(i));
-    const auto up = n.add_link("u" + std::to_string(i), 1e8, 0, 1e6);
+    const std::string suffix = std::to_string(i);
+    const auto s = n.add_host("s" + suffix);
+    const auto d = n.add_host("d" + suffix);
+    const auto up = n.add_link("u" + suffix, 1e8, 0, 1e6);
     n.add_route(s, d, {up, wan});
     flows.push_back(n.start_flow(s, d, 1e15, 5e7, nullptr));
   }
@@ -72,8 +73,9 @@ BENCHMARK(BM_TcpTransfer1MB);
 void BM_MpiPingpongRound(benchmark::State& state) {
   Simulation sim;
   topo::Grid grid(sim, topo::GridSpec::rennes_nancy(1));
-  auto cfg = profiles::configure(profiles::mpich2(),
-                                 profiles::TuningLevel::kTcpTuned);
+  const profiles::ExperimentConfig cfg =
+      profiles::experiment(profiles::mpich2())
+          .tuning(profiles::TuningLevel::kTcpTuned);
   mpi::Job job(grid, mpi::block_placement(grid, 2), cfg.profile, cfg.kernel);
   for (auto _ : state) {
     state.PauseTiming();

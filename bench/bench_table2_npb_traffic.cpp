@@ -1,75 +1,11 @@
-// Table 2: communication features of the NPB. The paper quotes message
-// counts and sizes (from Faraj & Yuan's class A / 16-node characterisation
-// plus their own instrumented runs); this bench instruments our skeletons
-// the same way and prints both.
-#include "nas_common.hpp"
-
-namespace {
-
-using namespace gridsim;
-
-std::string size_range(const std::map<long long, std::uint64_t>& sizes) {
-  if (sizes.empty()) return "-";
-  const auto lo = sizes.begin()->first;
-  const auto hi = sizes.rbegin()->first;
-  if (lo == hi) return harness::format_bytes(double(lo)) + "B";
-  return harness::format_bytes(double(lo)) + "B.." +
-         harness::format_bytes(double(hi)) + "B";
-}
-
-}  // namespace
+// Table 2: communication features of the NPB.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "table2" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'table2*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  struct PaperRow {
-    const char* type;
-    const char* sizes;
-  };
-  const PaperRow paper[] = {
-      {"P2P(coll impl)", "192 x 8 B + 68 x 80 B"},        // EP
-      {"P. to P.", "126479 x 8 B + 86944 x 147 kB"},      // CG
-      {"P. to P.", "50809 x 4 B .. 130 kB"},              // MG
-      {"P. to P.", "1.2M x 960..1040 B"},                 // LU
-      {"P. to P.", "57744 x 45-54 kB + 96336 x 100-160 kB"},  // SP
-      {"P. to P.", "28944 x 26 kB + 48336 x 146-156 kB"},     // BT
-      {"Collective", "176 x 1 kB + 176 x 30 MB(aggregate)"},  // IS
-      {"Collective", "320 x 1 B + 352 x 128 kB"},             // FT
-  };
-
-  const auto cfg = nas_config(profiles::mpich2());
-  const auto spec = topo::GridSpec::single_cluster(16);
-  std::vector<std::vector<std::string>> rows;
-  int i = 0;
-  for (npb::Kernel k : npb::all_kernels()) {
-    // The paper's Table 2 mixes class A (counts from [11]) and class B
-    // (their instrumented sizes); we report class B except IS, whose
-    // 30 MB aggregate matches class A.
-    const npb::Class cls =
-        (k == npb::Kernel::kIS) ? npb::Class::kA : npb::Class::kB;
-    const auto res = harness::run_npb(spec, 16, k, cls, cfg);
-    const auto& t = res.traffic;
-    const bool collective = t.collective_messages > t.p2p_messages;
-    char count[64];
-    std::snprintf(count, sizeof count, "%llu",
-                  static_cast<unsigned long long>(
-                      collective ? t.collective_messages : t.p2p_messages));
-    rows.push_back({npb::name(k), collective ? "Collective" : "P. to P.",
-                    count,
-                    size_range(collective ? t.collective_sizes : t.p2p_sizes),
-                    paper[i].type, paper[i].sizes});
-    ++i;
-  }
-  harness::print_table(
-      "Table 2: NPB communication features (measured on our skeletons, 16 "
-      "ranks)",
-      {"kernel", "type", "messages", "sizes", "paper type", "paper counts"},
-      rows);
-  std::printf(
-      "\nNote: paper counts aggregate differently per source ([11] counts\n"
-      "class A point-to-point sends; IS volume is the aggregate alltoallv\n"
-      "payload). The kernel ordering by message count and the size bands\n"
-      "are the comparable quantities.\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("table2") == 0 ? 0 : 1;
 }

@@ -1,45 +1,11 @@
-// Table 4: one-way latency of a 1-byte message, within the Rennes cluster
-// and across the Rennes--Nancy WAN, for raw TCP and the four MPI
-// implementations (default configuration).
-#include "common.hpp"
+// Table 4: one-way latency in a cluster and in the grid.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "table4" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'table4*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  struct PaperRow {
-    const char* name;
-    double lan_us, wan_us;
-  };
-  const PaperRow paper[] = {{"TCP", 41, 5812},
-                            {"MPICH2", 46, 5818},
-                            {"GridMPI", 46, 5819},
-                            {"MPICH-Madeleine", 62, 5826},
-                            {"OpenMPI", 46, 5820}};
-
-  std::vector<std::vector<std::string>> rows;
-  int i = 0;
-  for (const auto& impl : profiles_with_tcp()) {
-    const auto cfg =
-        profiles::configure(impl, profiles::TuningLevel::kDefault);
-    const SimTime lan = harness::pingpong_min_latency(
-        topo::GridSpec::single_cluster(2), {0, 0, 0, 1}, cfg);
-    const SimTime wan = harness::pingpong_min_latency(
-        topo::GridSpec::rennes_nancy(1), {0, 0, 1, 0}, cfg);
-    rows.push_back({impl.name, harness::format_double(to_microseconds(lan), 1),
-                    harness::format_double(paper[i].lan_us, 0),
-                    harness::format_double(to_microseconds(wan), 1),
-                    harness::format_double(paper[i].wan_us, 0)});
-    ++i;
-  }
-  harness::print_table(
-      "Table 4: one-way latency in a cluster and in the grid (us)",
-      {"implementation", "cluster (model)", "cluster (paper)", "grid (model)",
-       "grid (paper)"},
-      rows);
-  std::printf(
-      "\nNote: the model attributes ~6 us less fixed kernel cost on the WAN\n"
-      "path than the testbed measured; the per-implementation deltas are\n"
-      "the quantity Table 4 demonstrates.\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("table4") == 0 ? 0 : 1;
 }

@@ -1,83 +1,11 @@
-// Table 5: the ideal eager/rendez-vous threshold per implementation, found
-// by sweeping the threshold and scoring a ping-pong over 1 kB..64 MB (TCP
-// already tuned, receives pre-posted as the paper assumes).
+// Table 5: ideal eager/rendez-vous threshold per implementation.
 //
-// The paper's finding: with pre-posted receives the rendez-vous handshake
-// is pure overhead for every size up to 64 MB, so the ideal threshold is
-// "as high as the knob allows": 65 MB for MPICH2 and MPICH-Madeleine,
-// 32 MB for OpenMPI (knob cap), and GridMPI needs no change (its default
-// is already infinite).
-#include <cmath>
-
-#include "common.hpp"
-
-namespace {
-
-using namespace gridsim;
-
-/// Sum of per-size transfer times: lower is better.
-double sweep_score(const mpi::ImplProfile& base, double threshold,
-                   const std::vector<double>& sizes) {
-  auto cfg = profiles::configure(base, profiles::TuningLevel::kTcpTuned);
-  cfg.profile.eager_threshold =
-      std::min(threshold, base.eager_threshold_max);
-  harness::PingpongOptions options;
-  options.sizes = sizes;
-  options.rounds = 6;
-  const auto points = harness::pingpong_sweep(
-      topo::GridSpec::rennes_nancy(1), {0, 0, 1, 0}, cfg, options);
-  double total = 0;
-  for (const auto& p : points) total += to_seconds(p.min_one_way);
-  return total;
-}
-
-}  // namespace
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "table5" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'table5*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-  using namespace gridsim::bench;
-
-  const auto sizes = harness::pow2_sizes(1024, 64.0 * 1024 * 1024);
-  const std::vector<double> candidates = {
-      64e3, 128e3, 256e3, 512e3, 1024e3, 4.0 * 1024 * 1024,
-      32.0 * 1024 * 1024, 65.0 * 1024 * 1024};
-
-  struct PaperRow {
-    const char* original;
-    const char* ideal;
-  };
-  const PaperRow paper[] = {{"256 kB", "65 MB"},
-                            {"inf", "- (unchanged)"},
-                            {"128 kB", "65 MB"},
-                            {"64 kB", "32 MB"}};
-
-  std::vector<std::vector<std::string>> rows;
-  int i = 0;
-  for (const auto& impl : profiles::all_implementations()) {
-    double best = candidates.front();
-    double best_score = 1e300;
-    for (double cand : candidates) {
-      const double score = sweep_score(impl, cand, sizes);
-      if (score < best_score - 1e-9) {
-        best_score = score;
-        best = std::min(cand, impl.eager_threshold_max);
-      }
-    }
-    const bool no_rndv = std::isinf(impl.eager_threshold);
-    const std::string original =
-        no_rndv ? "inf" : harness::format_bytes(impl.eager_threshold) + "B";
-    // An implementation with no rendez-vous by default needs no tuning: any
-    // threshold >= the largest message scores identically.
-    const std::string ideal = no_rndv ? "- (unchanged)"
-                                      : harness::format_bytes(best) + "B";
-    rows.push_back({impl.name, original, paper[i].original, ideal,
-                    paper[i].ideal});
-    ++i;
-  }
-  harness::print_table(
-      "Table 5: ideal eager/rndv threshold per implementation (grid)",
-      {"implementation", "original (model)", "original (paper)",
-       "ideal (model)", "ideal (paper)"},
-      rows);
-  return 0;
+  return gridsim::scenarios::run_and_print("table5") == 0 ? 0 : 1;
 }

@@ -1,57 +1,11 @@
-// Table 6: ray2mesh on four clusters (8 nodes each): rays computed per
-// cluster as a function of the master's location. The self-scheduling
-// master hands 1000-ray sets to whoever asks first, so faster clusters
-// (Sophia) compute more, and slaves near the master win ties.
-#include "common.hpp"
-
-#include "apps/ray2mesh.hpp"
+// Table 6: ray2mesh rays per cluster vs master location.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "table6" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'table6*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-
-  const auto spec = topo::GridSpec::ray2mesh_quad(8);
-  const auto cfg =
-      profiles::configure(profiles::gridmpi(), profiles::TuningLevel::kTcpTuned);
-
-  const double paper[4][4] = {
-      // master: Nancy   Rennes   Sophia   Toulouse   (cluster rows)
-      {29650, 27937.5, 29343.75, 28781.25},   // Nancy
-      {30225, 30625, 29437.5, 29468.75},      // Rennes
-      {35375, 36562.5, 37343.75, 36437.5},    // Sophia
-      {29750, 29875, 28875, 30312.5},         // Toulouse
-  };
-  // Site order in our spec: rennes(0), nancy(1), sophia(2), toulouse(3);
-  // Table 6 lists Nancy, Rennes, Sophia, Toulouse.
-  const int table_order[4] = {1, 0, 2, 3};
-
-  std::vector<std::vector<std::string>> rows(4);
-  for (int row = 0; row < 4; ++row)
-    rows[static_cast<size_t>(row)].push_back(
-        spec.sites[static_cast<size_t>(table_order[row])].name);
-
-  for (int master_row = 0; master_row < 4; ++master_row) {
-    const int master_site = table_order[master_row];
-    const auto res = apps::run_ray2mesh(spec, master_site, cfg);
-    for (int row = 0; row < 4; ++row) {
-      const int site = table_order[row];
-      // Table 6 reports the *average rays per node* of each cluster (the
-      // paper's columns sum to 1M / 8 nodes).
-      const double rays =
-          double(res.rays_per_site[static_cast<size_t>(site)]) /
-          spec.sites[static_cast<size_t>(site)].nodes;
-      rows[static_cast<size_t>(row)].push_back(
-          harness::format_double(rays, 0) + " (" +
-          harness::format_double(paper[row][master_row], 0) + ")");
-    }
-  }
-  harness::print_table(
-      "Table 6: rays computed per cluster vs master location -- model "
-      "(paper)",
-      {"cluster", "master=Nancy", "master=Rennes", "master=Sophia",
-       "master=Toulouse"},
-      rows);
-  std::printf(
-      "\nPaper shape: Sophia (fastest nodes) computes the most rays; a\n"
-      "cluster computes slightly more when the master is local.\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("table6") == 0 ? 0 : 1;
 }

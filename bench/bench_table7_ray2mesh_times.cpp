@@ -1,42 +1,11 @@
-// Table 7: ray2mesh phase times (compute, merge, total) as a function of
-// the master's location. Paper: ~185 s compute / ~166 s merge / ~361 s
-// total, nearly independent of where the master runs.
-#include "common.hpp"
-
-#include "apps/ray2mesh.hpp"
+// Table 7: ray2mesh phase times vs master location.
+//
+// Thin shim: the scenarios live in the catalog (src/scenarios/); this
+// binary selects the "table7" group from the registry, runs it serially
+// and prints the rendered figure/table. `gridsim campaign --filter
+// 'table7*'` runs the same cells concurrently with trace digests.
+#include "scenarios/catalog.hpp"
 
 int main() {
-  using namespace gridsim;
-
-  const auto spec = topo::GridSpec::ray2mesh_quad(8);
-  const auto cfg =
-      profiles::configure(profiles::gridmpi(), profiles::TuningLevel::kTcpTuned);
-
-  const double paper_comp[4] = {185.11, 185.16, 186.03, 186.97};
-  const double paper_merge[4] = {168.85, 162.59, 168.38, 165.99};
-  const double paper_total[4] = {361.52, 355.14, 361.72, 360.24};
-  // Table 7 columns: Nancy, Rennes, Sophia, Toulouse; our site indices:
-  const int order[4] = {1, 0, 2, 3};
-
-  std::vector<std::string> headers{"phase"};
-  std::vector<std::vector<std::string>> rows{
-      {"compute (s)"}, {"paper comp"}, {"merge (s)"}, {"paper merge"},
-      {"total (s)"},   {"paper total"}};
-  for (int col = 0; col < 4; ++col) {
-    headers.push_back("master=" +
-                      spec.sites[static_cast<size_t>(order[col])].name);
-    const auto res = apps::run_ray2mesh(spec, order[col], cfg);
-    rows[0].push_back(harness::format_double(to_seconds(res.compute_time), 1));
-    rows[1].push_back(harness::format_double(paper_comp[col], 1));
-    rows[2].push_back(harness::format_double(to_seconds(res.merge_time), 1));
-    rows[3].push_back(harness::format_double(paper_merge[col], 1));
-    rows[4].push_back(harness::format_double(to_seconds(res.total_time), 1));
-    rows[5].push_back(harness::format_double(paper_total[col], 1));
-  }
-  harness::print_table("Table 7: ray2mesh phase times vs master location",
-                       headers, rows);
-  std::printf(
-      "\nPaper shape: compute ~185 s and total ~360 s regardless of the\n"
-      "master's location -- the task placement does not matter much.\n");
-  return 0;
+  return gridsim::scenarios::run_and_print("table7") == 0 ? 0 : 1;
 }

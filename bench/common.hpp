@@ -1,10 +1,9 @@
-// Shared helpers for the experiment benches. Every bench binary prints the
-// rows/series of one table or figure of the paper, with the paper's values
-// quoted alongside for comparison.
-//
-// Also hosts the `gridsim bench` suite: engine micro-benchmarks and a
-// representative figure subset, with results written to BENCH_micro.json /
+// `gridsim bench` support: engine micro-benchmarks and a representative
+// figure subset, instrumented end to end and written to BENCH_micro.json /
 // BENCH_figs.json (see docs/usage.md for the schema).
+//
+// The per-figure bench binaries no longer use this header — they are thin
+// shims over the scenario catalog (src/scenarios/).
 #pragma once
 
 #include <array>
@@ -18,65 +17,12 @@
 #include "apps/ray2mesh.hpp"
 #include "harness/npb_campaign.hpp"
 #include "harness/pingpong.hpp"
-#include "harness/report.hpp"
 #include "profiles/profiles.hpp"
 #include "simcore/callback.hpp"
 #include "simcore/sync.hpp"
 #include "simtcp/packet_sim.hpp"
 
 namespace gridsim::bench {
-
-/// TCP baseline + the four implementations, in the paper's order.
-inline std::vector<mpi::ImplProfile> profiles_with_tcp() {
-  std::vector<mpi::ImplProfile> v;
-  v.push_back(profiles::raw_tcp());
-  for (auto& p : profiles::all_implementations()) v.push_back(p);
-  return v;
-}
-
-/// Runs the 1 kB..64 MB bandwidth sweep for every profile and prints the
-/// figure as CSV + an ASCII chart.
-inline void bandwidth_figure(const std::string& title, bool grid,
-                             profiles::TuningLevel level) {
-  const auto spec = grid ? topo::GridSpec::rennes_nancy(1)
-                         : topo::GridSpec::single_cluster(2);
-  const harness::PingpongEndpoints ends =
-      grid ? harness::PingpongEndpoints{0, 0, 1, 0}
-           : harness::PingpongEndpoints{0, 0, 0, 1};
-  harness::PingpongOptions options;
-  options.sizes = harness::pow2_sizes(1024, 64.0 * 1024 * 1024);
-  options.rounds = 12;
-
-  const auto impls = profiles_with_tcp();
-  std::vector<std::string> series_names;
-  std::vector<std::vector<double>> values;
-  for (const auto& impl : impls) {
-    const auto cfg = profiles::configure(impl, level);
-    const auto points = harness::pingpong_sweep(spec, ends, cfg, options);
-    series_names.push_back(impl.name + " on TCP");
-    values.emplace_back();
-    for (const auto& p : points) values.back().push_back(p.max_bandwidth_mbps);
-  }
-
-  std::vector<std::string> headers{"size"};
-  for (const auto& n : series_names) headers.push_back(n);
-  std::vector<std::vector<std::string>> rows;
-  std::vector<std::string> x_labels;
-  for (std::size_t i = 0; i < options.sizes.size(); ++i) {
-    x_labels.push_back(harness::format_bytes(options.sizes[i]));
-    rows.push_back({x_labels.back()});
-    for (auto& v : values)
-      rows.back().push_back(harness::format_double(v[i], 1));
-  }
-  harness::print_csv(title + " -- MPI bandwidth (Mbps)", headers, rows);
-  harness::print_ascii_chart(title, series_names, x_labels, values, 1000,
-                             "Mbps");
-}
-
-// ---------------------------------------------------------------------------
-// `gridsim bench` support: engine micro-benchmarks + figure-subset timings,
-// written as machine-readable JSON so CI can archive performance over time.
-// ---------------------------------------------------------------------------
 
 /// One benchmark measurement. `events` is the number of engine events the
 /// run processed; `heap_payloads`/`pool_misses` are the callback allocation
@@ -289,8 +235,8 @@ inline std::vector<BenchRecord> run_figure_suite(bool quick) {
 
   out.push_back(bench_figure("pingpong_grid", [quick](const SimHooks& hooks) {
     const auto spec = topo::GridSpec::rennes_nancy(1);
-    const auto cfg = profiles::configure(profiles::mpich2(),
-                                         profiles::TuningLevel::kFullyTuned);
+    const profiles::ExperimentConfig cfg = profiles::experiment(profiles::mpich2())
+        .tuning(profiles::TuningLevel::kFullyTuned);
     harness::PingpongOptions opt;
     opt.sizes = harness::pow2_sizes(1024, quick ? 1024.0 * 1024
                                                 : 64.0 * 1024 * 1024);
@@ -304,8 +250,8 @@ inline std::vector<BenchRecord> run_figure_suite(bool quick) {
   }));
 
   out.push_back(bench_figure("npb_cg_grid", [quick](const SimHooks& hooks) {
-    const auto cfg = profiles::configure(profiles::mpich2(),
-                                         profiles::TuningLevel::kTcpTuned);
+    const profiles::ExperimentConfig cfg = profiles::experiment(profiles::mpich2())
+        .tuning(profiles::TuningLevel::kTcpTuned);
     const auto cls = quick ? npb::Class::kS : npb::Class::kA;
     const auto res = harness::run_npb(topo::GridSpec::rennes_nancy(8), 16,
                                       npb::Kernel::kCG, cls, cfg, 0, hooks);
@@ -317,8 +263,9 @@ inline std::vector<BenchRecord> run_figure_suite(bool quick) {
 
   out.push_back(bench_figure("ray2mesh_grid", [quick](const SimHooks& hooks) {
     const auto spec = topo::GridSpec::ray2mesh_quad(8);
-    const auto cfg = profiles::configure(profiles::gridmpi(),
-                                         profiles::TuningLevel::kTcpTuned);
+    const profiles::ExperimentConfig cfg =
+        profiles::experiment(profiles::gridmpi())
+            .tuning(profiles::TuningLevel::kTcpTuned);
     apps::Ray2MeshConfig app;
     app.total_rays = quick ? 100'000 : 1'000'000;
     const auto res = apps::run_ray2mesh(spec, 0, cfg, app, hooks);

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Campaign schedule-independence check: runs the same scenario selection
+# serially and on N worker threads and fails unless every per-scenario trace
+# digest is byte-identical. This is the executable form of the campaign
+# engine's core claim — the thread schedule changes nothing.
+#
+# Usage: scripts/check_campaign.sh [filter] [jobs] [path/to/gridsim]
+#   FILTER  glob over scenario names/groups (default: table4*)
+#   JOBS    parallel worker count to compare against --jobs 1 (default: nproc)
+#   GRIDSIM_CLI overrides the default binary location.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-table4*}"
+JOBS="${2:-$(nproc)}"
+CLI="${3:-${GRIDSIM_CLI:-build/src/tools/gridsim}}"
+
+if [[ ! -x "$CLI" ]]; then
+  echo "check_campaign: gridsim binary not found at '$CLI'" >&2
+  echo "build it first: cmake --preset release && cmake --build --preset release" >&2
+  exit 2
+fi
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+"$CLI" campaign --filter "$FILTER" --jobs 1 --out "$WORKDIR/serial" >/dev/null
+"$CLI" campaign --filter "$FILTER" --jobs "$JOBS" --out "$WORKDIR/parallel" \
+  >/dev/null
+
+# The report keeps one scenario object per line, so name+digest pairs fall
+# out with grep/sed — no JSON parser needed.
+extract() {
+  grep -o '"name": "[^"]*", "group": "[^"]*", "ok": [a-z]*, "digest": "[0-9a-f]*"' \
+    "$1/CAMPAIGN.json"
+}
+
+extract "$WORKDIR/serial" > "$WORKDIR/serial.digests"
+extract "$WORKDIR/parallel" > "$WORKDIR/parallel.digests"
+
+if [[ ! -s "$WORKDIR/serial.digests" ]]; then
+  echo "check_campaign: no scenarios matched filter '$FILTER'" >&2
+  exit 2
+fi
+
+if ! diff -u "$WORKDIR/serial.digests" "$WORKDIR/parallel.digests"; then
+  echo "check_campaign: digest mismatch between --jobs 1 and --jobs $JOBS" >&2
+  exit 1
+fi
+
+COUNT="$(wc -l < "$WORKDIR/serial.digests")"
+echo "check_campaign: $COUNT scenario digests identical at --jobs 1 and --jobs $JOBS (filter '$FILTER')"

@@ -97,14 +97,18 @@ void run_ray2mesh_scenario(const SimHooks& hooks) {
 
 std::uint64_t trace_digest(const Tracer& tracer, std::uint64_t basis) {
   std::uint64_t h = basis;
-  for (const TraceEvent& e : tracer.events()) {
-    fold_u64(h, static_cast<std::uint64_t>(e.at));
-    fold_u64(h, static_cast<std::uint64_t>(e.kind));
-    fold_string(h, e.subject);
-    fold_double(h, e.value);
-    fold_string(h, e.detail);
-  }
+  for (const TraceEvent& e : tracer.events()) fold_trace_event(h, e);
   return h;
+}
+
+void fold_digest(std::uint64_t& h, std::uint64_t v) { fold_u64(h, v); }
+
+void fold_trace_event(std::uint64_t& h, const TraceEvent& e) {
+  fold_u64(h, static_cast<std::uint64_t>(e.at));
+  fold_u64(h, static_cast<std::uint64_t>(e.kind));
+  fold_string(h, e.subject);
+  fold_double(h, e.value);
+  fold_string(h, e.detail);
 }
 
 std::vector<std::string> audit_scenario_names() {

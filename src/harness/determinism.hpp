@@ -30,6 +30,15 @@ namespace gridsim::harness {
 std::uint64_t trace_digest(const Tracer& tracer,
                            std::uint64_t basis = 0x6A09E667F3BCC908ULL);
 
+/// Incremental-digest primitives: fold one value / one trace event into a
+/// running FNV-1a hash. `trace_digest` is exactly a left fold of
+/// `fold_trace_event` over the stored events, so a streaming consumer (a
+/// `Tracer` observer with storage off — how the campaign runner digests
+/// arbitrarily long scenarios in O(1) memory) produces the same digest as
+/// hashing a stored trace.
+void fold_digest(std::uint64_t& h, std::uint64_t v);
+void fold_trace_event(std::uint64_t& h, const TraceEvent& e);
+
 /// Names of the built-in auditable scenarios.
 std::vector<std::string> audit_scenario_names();
 

@@ -80,11 +80,11 @@ std::vector<PingpongPoint> pingpong_sweep(const topo::GridSpec& spec,
 SimTime pingpong_min_latency(const topo::GridSpec& spec,
                              const PingpongEndpoints& ends,
                              const profiles::ExperimentConfig& cfg,
-                             int rounds) {
+                             int rounds, const SimHooks& hooks) {
   PingpongOptions options;
   options.sizes = {1.0};
   options.rounds = rounds;
-  const auto points = pingpong_sweep(spec, ends, cfg, options);
+  const auto points = pingpong_sweep(spec, ends, cfg, options, hooks);
   return points.at(0).min_one_way;
 }
 
@@ -137,8 +137,9 @@ Task<void> cross_traffic_body(Simulation* sim, tcp::TcpChannel* ch,
 std::vector<SlowstartSample> slowstart_series(
     const topo::GridSpec& spec, const PingpongEndpoints& ends,
     const profiles::ExperimentConfig& cfg, double bytes, int count,
-    const CrossTraffic& cross) {
+    const CrossTraffic& cross, const SimHooks& hooks) {
   Simulation sim;
+  if (hooks.on_start) hooks.on_start(sim);
   topo::Grid grid(sim, spec);
   // Validate before spawning anything: a throw after spawn() would abandon
   // the suspended process frames (they only run and self-destroy once
@@ -168,6 +169,7 @@ std::vector<SlowstartSample> slowstart_series(
                                  cross.burst_bytes, cross.period, bursts));
   }
   sim.run();
+  if (hooks.on_finish) hooks.on_finish(sim);
   return std::move(state.samples);
 }
 

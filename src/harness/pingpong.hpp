@@ -48,7 +48,7 @@ std::vector<PingpongPoint> pingpong_sweep(const topo::GridSpec& spec,
 SimTime pingpong_min_latency(const topo::GridSpec& spec,
                              const PingpongEndpoints& ends,
                              const profiles::ExperimentConfig& cfg,
-                             int rounds = 20);
+                             int rounds = 20, const SimHooks& hooks = {});
 
 struct SlowstartSample {
   SimTime at = 0;      ///< send timestamp of this message
@@ -70,6 +70,6 @@ struct CrossTraffic {
 std::vector<SlowstartSample> slowstart_series(
     const topo::GridSpec& spec, const PingpongEndpoints& ends,
     const profiles::ExperimentConfig& cfg, double bytes, int count,
-    const CrossTraffic& cross = {});
+    const CrossTraffic& cross = {}, const SimHooks& hooks = {});
 
 }  // namespace gridsim::harness

@@ -8,6 +8,27 @@
 
 namespace gridsim::harness {
 
+/// `# title` followed by an aligned table, as a string. The render_*
+/// variants exist so scenario workloads running on campaign worker threads
+/// can produce their reports without interleaving stdout; the print_*
+/// wrappers keep the direct-to-terminal convenience.
+std::string render_table(const std::string& title,
+                         const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows);
+
+/// A CSV block (one header line + data lines) for plotting, as a string.
+std::string render_csv(const std::string& title,
+                       const std::vector<std::string>& headers,
+                       const std::vector<std::vector<std::string>>& rows);
+
+/// Log-x ASCII line chart: one row per x value, one column block per
+/// series, bar length proportional to value / y_max. As a string.
+std::string render_ascii_chart(const std::string& title,
+                               const std::vector<std::string>& series_names,
+                               const std::vector<std::string>& x_labels,
+                               const std::vector<std::vector<double>>& values,
+                               double y_max, const std::string& unit);
+
 /// Prints `# title` followed by an aligned table.
 void print_table(const std::string& title,
                  const std::vector<std::string>& headers,
@@ -18,8 +39,7 @@ void print_csv(const std::string& title,
                const std::vector<std::string>& headers,
                const std::vector<std::vector<std::string>>& rows);
 
-/// Log-x ASCII line chart: one row per x value, one column block per
-/// series, bar length proportional to value / y_max.
+/// Log-x ASCII line chart, printed.
 void print_ascii_chart(const std::string& title,
                        const std::vector<std::string>& series_names,
                        const std::vector<std::string>& x_labels,

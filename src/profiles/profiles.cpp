@@ -132,4 +132,15 @@ ExperimentConfig configure(mpi::ImplProfile base, TuningLevel level) {
   return cfg;
 }
 
+ExperimentConfig ExperimentBuilder::build() const {
+  ExperimentConfig cfg = configure(base_, level_);
+  if (kernel_) cfg.kernel = *kernel_;
+  if (congestion_) cfg.kernel.algo = *congestion_;
+  if (eager_threshold_) cfg.profile.eager_threshold = *eager_threshold_;
+  if (setsockopt_bytes_) cfg.profile.setsockopt_bytes = *setsockopt_bytes_;
+  if (wan_extra_overhead_)
+    cfg.profile.wan_extra_overhead = *wan_extra_overhead_;
+  return cfg;
+}
+
 }  // namespace gridsim::profiles

@@ -3,6 +3,7 @@
 // levels of Section 4.2 applied as configuration transforms.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,5 +60,93 @@ std::vector<mpi::ImplProfile> all_implementations();
 /// Applies a tuning level: selects the kernel tunables and adjusts the
 /// per-implementation knobs exactly as Section 4.2 describes.
 ExperimentConfig configure(mpi::ImplProfile base, TuningLevel level);
+
+/// Fluent ExperimentConfig builder — the one construction API for benches,
+/// scenarios and tests:
+///
+///   auto cfg = experiment(mpich2()).tuning(TuningLevel::kTcpTuned);
+///   auto abl = experiment(gridmpi()).pacing(false).label("GridMPI (no pacing)");
+///   auto buf = experiment(openmpi())
+///                  .tuning(TuningLevel::kTcpTuned)
+///                  .setsockopt_bytes(512e3)    // override after tuning
+///                  .eager_threshold(1e12);
+///
+/// Semantics: profile identity knobs (label, pacing, collective algorithms)
+/// are applied to the base profile *before* `configure`, and ablation
+/// overrides (eager threshold, socket buffers, WAN overhead, kernel
+/// tunables) *after* it, so an override always wins over what the tuning
+/// level would choose — matching how every hand-written bench mutated the
+/// configure() result. `build()` is explicit; the implicit conversion lets
+/// a builder expression be passed anywhere an ExperimentConfig is expected.
+class ExperimentBuilder {
+ public:
+  explicit ExperimentBuilder(mpi::ImplProfile base) : base_(std::move(base)) {}
+
+  ExperimentBuilder& tuning(TuningLevel level) {
+    level_ = level;
+    return *this;
+  }
+  /// Renames the profile (ablation rows: "GridMPI (pacing off)").
+  ExperimentBuilder& label(std::string name) {
+    base_.name = std::move(name);
+    return *this;
+  }
+  ExperimentBuilder& pacing(bool on) {
+    base_.pacing = on;
+    return *this;
+  }
+  ExperimentBuilder& bcast(mpi::BcastAlgo algo) {
+    base_.collectives.bcast = algo;
+    return *this;
+  }
+  ExperimentBuilder& allreduce(mpi::AllreduceAlgo algo) {
+    base_.collectives.allreduce = algo;
+    return *this;
+  }
+  ExperimentBuilder& alltoall(mpi::AlltoallAlgo algo) {
+    base_.collectives.alltoall = algo;
+    return *this;
+  }
+  /// Replaces the kernel tunables the tuning level selected.
+  ExperimentBuilder& kernel(tcp::KernelTunables tunables) {
+    kernel_ = tunables;
+    return *this;
+  }
+  ExperimentBuilder& congestion(tcp::CongestionAlgo algo) {
+    congestion_ = algo;
+    return *this;
+  }
+  /// Post-tuning overrides (win over the tuning level's choices).
+  ExperimentBuilder& eager_threshold(double bytes) {
+    eager_threshold_ = bytes;
+    return *this;
+  }
+  ExperimentBuilder& setsockopt_bytes(double bytes) {
+    setsockopt_bytes_ = bytes;
+    return *this;
+  }
+  ExperimentBuilder& wan_extra_overhead(SimTime cost) {
+    wan_extra_overhead_ = cost;
+    return *this;
+  }
+
+  ExperimentConfig build() const;
+  // NOLINTNEXTLINE(google-explicit-constructor): terse call sites by design.
+  operator ExperimentConfig() const { return build(); }
+
+ private:
+  mpi::ImplProfile base_;
+  TuningLevel level_ = TuningLevel::kDefault;
+  std::optional<tcp::KernelTunables> kernel_;
+  std::optional<tcp::CongestionAlgo> congestion_;
+  std::optional<double> eager_threshold_;
+  std::optional<double> setsockopt_bytes_;
+  std::optional<SimTime> wan_extra_overhead_;
+};
+
+/// Entry point of the fluent API: `experiment(mpich2()).tuning(...)`.
+inline ExperimentBuilder experiment(mpi::ImplProfile base) {
+  return ExperimentBuilder(std::move(base));
+}
 
 }  // namespace gridsim::profiles

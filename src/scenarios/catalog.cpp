@@ -1,0 +1,71 @@
+#include "scenarios/catalog.hpp"
+
+#include <cstdio>
+#include <set>
+
+#include "harness/campaign.hpp"
+#include "scenarios/catalog_internal.hpp"
+
+namespace gridsim::scenarios {
+
+namespace detail {
+
+std::vector<mpi::ImplProfile> profiles_with_tcp() {
+  std::vector<mpi::ImplProfile> v;
+  v.push_back(profiles::raw_tcp());
+  for (auto& p : profiles::all_implementations()) v.push_back(p);
+  return v;
+}
+
+std::string render_kernel_table(
+    const std::string& title, const std::vector<std::string>& impl_names,
+    const std::vector<std::map<npb::Kernel, double>>& per_impl,
+    int precision) {
+  std::vector<std::string> headers{"kernel"};
+  for (const auto& n : impl_names) headers.push_back(n);
+  std::vector<std::vector<std::string>> rows;
+  for (npb::Kernel k : npb::all_kernels()) {
+    rows.push_back({npb::name(k)});
+    for (const auto& m : per_impl)
+      rows.back().push_back(harness::format_double(m.at(k), precision));
+  }
+  return harness::render_table(title, headers, rows);
+}
+
+}  // namespace detail
+
+const harness::ScenarioRegistry& paper_registry() {
+  static const harness::ScenarioRegistry registry = [] {
+    harness::ScenarioRegistry reg;
+    detail::register_pingpong_catalog(reg);
+    detail::register_slowstart_catalog(reg);
+    detail::register_nas_catalog(reg);
+    detail::register_apps_catalog(reg);
+    return reg;
+  }();
+  return registry;
+}
+
+int run_and_print(const std::string& filter) {
+  const auto& reg = paper_registry();
+  const auto selected = reg.match(filter);
+  if (selected.empty()) {
+    std::fprintf(stderr, "no scenario matches '%s'\n", filter.c_str());
+    return -1;
+  }
+  harness::CampaignOptions options;
+  options.filter = filter;
+  options.jobs = 1;
+  options.digests = false;
+  const auto report = harness::run_campaign(reg, options);
+
+  std::set<std::string> seen;
+  for (const auto& outcome : report.outcomes) {
+    if (!seen.insert(outcome.group).second) continue;
+    std::fputs(harness::render_group(reg, outcome.group, report).c_str(),
+               stdout);
+  }
+  return static_cast<int>(report.failures());
+}
+
+}  // namespace gridsim::scenarios

@@ -14,11 +14,13 @@ struct ContextEntry {
   CheckContextFn fn;
 };
 
-// The engine is single-threaded by design; a plain static is enough. A
-// function-local static avoids initialisation-order issues for checks that
-// fire during static construction.
+// Each engine is single-threaded, but the campaign runner executes several
+// engines on concurrent worker threads, so the diagnostic stack must be
+// per-thread (an engine installs and uninstalls itself from the thread it
+// runs on). A function-local static avoids initialisation-order issues for
+// checks that fire during static construction.
 std::vector<ContextEntry>& context_stack() {
-  static std::vector<ContextEntry> stack;
+  thread_local std::vector<ContextEntry> stack;
   return stack;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -37,19 +38,35 @@ struct TraceEvent {
 
 class Tracer {
  public:
+  /// Streaming consumer of enabled events. With an observer installed and
+  /// storage off, long campaigns can digest every event in O(1) memory
+  /// instead of buffering the whole trace.
+  using Observer = std::function<void(const TraceEvent&)>;
+
   void enable(TraceKind kind) { enabled_[index(kind)] = true; }
   void disable(TraceKind kind) { enabled_[index(kind)] = false; }
   bool enabled(TraceKind kind) const { return enabled_[index(kind)]; }
 
+  /// Installs (or, with an empty function, removes) the streaming observer.
+  /// It sees every enabled event in record order, before storage.
+  void set_observer(Observer fn) { observer_ = std::move(fn); }
+  /// Controls whether enabled events are appended to `events()` (default
+  /// on). Turning storage off does not affect the observer or `seen()`.
+  void set_storage(bool on) { store_ = on; }
+
   void record(SimTime at, TraceKind kind, std::string subject, double value,
               std::string detail = {}) {
     if (!enabled(kind)) return;
-    events_.push_back(
-        TraceEvent{at, kind, std::move(subject), value, std::move(detail)});
+    ++seen_;
+    TraceEvent e{at, kind, std::move(subject), value, std::move(detail)};
+    if (observer_) observer_(e);
+    if (store_) events_.push_back(std::move(e));
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
+  /// Enabled events recorded over the tracer's lifetime, stored or not.
+  std::uint64_t seen() const { return seen_; }
   void clear() { events_.clear(); }
 
   /// Events of one kind, in record order.
@@ -63,6 +80,9 @@ class Tracer {
     return static_cast<std::size_t>(kind);
   }
   bool enabled_[static_cast<std::size_t>(TraceKind::kKindCount)] = {};
+  bool store_ = true;
+  std::uint64_t seen_ = 0;
+  Observer observer_;
   std::vector<TraceEvent> events_;
 };
 

@@ -1,0 +1,71 @@
+// Typed command-line option parser for the gridsim driver.
+//
+// Each subcommand declares its flags up front — name, type, default,
+// one-line help — and parsing then rejects unknown flags (listing the valid
+// ones), validates numeric values strictly (the whole token must parse),
+// supports both `--key value` and `--key=value`, and generates `--help`
+// output from the declarations. A value-taking option always consumes the
+// next token, even one starting with `-`, so negative numbers and literal
+// `--`-prefixed strings work (the old stringly parser silently swallowed
+// them into empty values).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gridsim::cli {
+
+class OptionParser {
+ public:
+  /// `command` names the subcommand in usage/help text; `summary` is the
+  /// one-line description printed by --help.
+  OptionParser(std::string command, std::string summary);
+
+  /// Boolean flag: present = true, takes no value.
+  OptionParser& flag(const std::string& name, bool* out,
+                     const std::string& help);
+  OptionParser& string_opt(const std::string& name, std::string* out,
+                           const std::string& help);
+  OptionParser& int_opt(const std::string& name, int* out,
+                        const std::string& help);
+  OptionParser& u64_opt(const std::string& name, std::uint64_t* out,
+                        const std::string& help);
+  OptionParser& real_opt(const std::string& name, double* out,
+                         const std::string& help);
+
+  enum class Result {
+    kOk,    ///< options parsed, command should run
+    kHelp,  ///< --help was requested and printed; exit 0
+    kError, ///< bad invocation, message printed to stderr; exit 2
+  };
+
+  /// Parses the option tokens (argv past the subcommand name). Bound
+  /// variables keep their initial values for options that are absent —
+  /// the initial value is the default and appears in --help.
+  Result parse(int argc, char** argv) const;
+
+  /// The generated --help text.
+  std::string help() const;
+
+ private:
+  enum class Kind { kFlag, kString, kInt, kU64, kReal };
+  struct Option {
+    std::string name;
+    Kind kind;
+    void* out;
+    std::string help;
+    std::string default_str;
+  };
+
+  OptionParser& declare(const std::string& name, Kind kind, void* out,
+                        const std::string& help, std::string default_str);
+  const Option* find(const std::string& name) const;
+  bool assign(const Option& opt, const std::string& value) const;
+
+  std::string command_;
+  std::string summary_;
+  std::vector<Option> options_;
+};
+
+}  // namespace gridsim::cli

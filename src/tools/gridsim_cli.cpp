@@ -11,6 +11,12 @@
 //   gridsim audit     [--scenario pingpong|nas|ray2mesh|all] [--seed N]
 //                     [--expect HEXDIGEST]
 //   gridsim bench     [--quick] [--out DIR] [--reps N]
+//   gridsim campaign  [--filter GLOB] [--jobs N] [--out DIR] [--seed N]
+//                     [--render] [--list]
+//
+// Every subcommand parses its flags through the typed OptionParser
+// (tools/cli.hpp): declared options with defaults, `--key=value`, strict
+// numeric validation, unknown-flag errors and generated `--help`.
 //
 // `audit` is the determinism auditor: it runs each scenario twice with the
 // same seed, hashes the structured event trace and exits non-zero if the
@@ -20,7 +26,12 @@
 // ping-pong, packet-level TCP) and a representative figure subset, and
 // writes BENCH_micro.json / BENCH_figs.json into --out (default: the
 // current directory). --quick shrinks every workload for CI smoke runs.
-// The JSON schema is documented in docs/usage.md.
+//
+// `campaign` runs the paper's full experiment catalog (or a --filter glob
+// subset) on a worker-thread pool, trace-digesting every scenario, and
+// writes one consolidated CAMPAIGN.json report (schema "gridsim-campaign/1",
+// documented in docs/usage.md). Per-scenario digests are independent of
+// --jobs: `--jobs 8` must equal `--jobs 1` byte for byte, which CI checks.
 //
 // Implementations: TCP, MPICH2, GridMPI, MPICH-Madeleine, OpenMPI,
 // MPICH-G2.
@@ -30,54 +41,40 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "apps/ray2mesh.hpp"
 #include "apps/simri.hpp"
 #include "bench/common.hpp"
+#include "harness/campaign.hpp"
 #include "harness/determinism.hpp"
 #include "harness/npb_campaign.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/report.hpp"
 #include "profiles/profiles.hpp"
+#include "scenarios/catalog.hpp"
+#include "tools/cli.hpp"
 
 namespace {
 
 using namespace gridsim;
+using cli::OptionParser;
 
-struct Args {
-  std::string command;
-  std::map<std::string, std::string> options;
-  bool flag(const std::string& name) const { return options.count(name); }
-  std::string get(const std::string& name, const std::string& dflt) const {
-    auto it = options.find(name);
-    return it == options.end() ? dflt : it->second;
+/// Exit status shared by every subcommand after OptionParser::parse.
+bool parse_or_exit(const OptionParser& parser, int argc, char** argv,
+                   int* status) {
+  switch (parser.parse(argc, argv)) {
+    case OptionParser::Result::kOk:
+      return true;
+    case OptionParser::Result::kHelp:
+      *status = 0;
+      return false;
+    case OptionParser::Result::kError:
+      break;
   }
-  double num(const std::string& name, double dflt) const {
-    auto it = options.find(name);
-    return it == options.end() ? dflt : std::atof(it->second.c_str());
-  }
-};
-
-Args parse(int argc, char** argv) {
-  Args a;
-  if (argc > 1) a.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
-      std::exit(2);
-    }
-    key = key.substr(2);
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      a.options[key] = argv[++i];
-    } else {
-      a.options[key] = "";
-    }
-  }
-  return a;
+  *status = 2;
+  return false;
 }
 
 mpi::ImplProfile impl_by_name(const std::string& name) {
@@ -101,22 +98,35 @@ profiles::TuningLevel tuning_by_name(const std::string& name) {
   std::exit(2);
 }
 
-int cmd_pingpong(const Args& a) {
-  const auto impl = impl_by_name(a.get("impl", "MPICH2"));
-  const auto cfg =
-      profiles::configure(impl, tuning_by_name(a.get("tuning", "full")));
-  const bool cluster = a.flag("cluster");
+int cmd_pingpong(int argc, char** argv) {
+  std::string impl_name = "MPICH2", tuning = "full";
+  bool cluster = false;
+  double min_bytes = 1024, max_bytes = 64.0 * 1024 * 1024;
+  int rounds = 12;
+  OptionParser parser("pingpong",
+                      "Ping-pong latency/bandwidth sweep (Figs 3/5/6/7).");
+  parser.string_opt("impl", &impl_name, "implementation name")
+      .string_opt("tuning", &tuning, "tuning level: default|tcp|full")
+      .flag("cluster", &cluster, "run inside one cluster instead of the grid")
+      .real_opt("min", &min_bytes, "smallest message size (bytes)")
+      .real_opt("max", &max_bytes, "largest message size (bytes)")
+      .int_opt("rounds", &rounds, "round trips per size");
+  int status = 0;
+  if (!parse_or_exit(parser, argc, argv, &status)) return status;
+
+  const auto impl = impl_by_name(impl_name);
+  const profiles::ExperimentConfig cfg =
+      profiles::experiment(impl).tuning(tuning_by_name(tuning));
   const auto spec = cluster ? topo::GridSpec::single_cluster(2)
                             : topo::GridSpec::rennes_nancy(1);
   const harness::PingpongEndpoints ends =
       cluster ? harness::PingpongEndpoints{0, 0, 0, 1}
               : harness::PingpongEndpoints{0, 0, 1, 0};
   harness::PingpongOptions opt;
-  opt.sizes = harness::pow2_sizes(a.num("min", 1024),
-                                  a.num("max", 64.0 * 1024 * 1024));
-  opt.rounds = static_cast<int>(a.num("rounds", 12));
+  opt.sizes = harness::pow2_sizes(min_bytes, max_bytes);
+  opt.rounds = rounds;
   std::printf("# pingpong %s (%s, %s)\n", impl.name.c_str(),
-              cluster ? "cluster" : "grid", a.get("tuning", "full").c_str());
+              cluster ? "cluster" : "grid", tuning.c_str());
   std::printf("%10s %14s %16s\n", "size", "latency (us)", "bandwidth (Mbps)");
   for (const auto& p : harness::pingpong_sweep(spec, ends, cfg, opt)) {
     std::printf("%10s %14.1f %16.1f\n",
@@ -126,10 +136,17 @@ int cmd_pingpong(const Args& a) {
   return 0;
 }
 
-int cmd_latency(const Args& a) {
-  const auto impl = impl_by_name(a.get("impl", "MPICH2"));
-  const auto cfg =
-      profiles::configure(impl, tuning_by_name(a.get("tuning", "default")));
+int cmd_latency(int argc, char** argv) {
+  std::string impl_name = "MPICH2", tuning = "default";
+  OptionParser parser("latency", "One-way 1-byte latency (Table 4).");
+  parser.string_opt("impl", &impl_name, "implementation name")
+      .string_opt("tuning", &tuning, "tuning level: default|tcp|full");
+  int status = 0;
+  if (!parse_or_exit(parser, argc, argv, &status)) return status;
+
+  const auto impl = impl_by_name(impl_name);
+  const profiles::ExperimentConfig cfg =
+      profiles::experiment(impl).tuning(tuning_by_name(tuning));
   const SimTime lan = harness::pingpong_min_latency(
       topo::GridSpec::single_cluster(2), {0, 0, 0, 1}, cfg);
   const SimTime wan = harness::pingpong_min_latency(
@@ -139,8 +156,20 @@ int cmd_latency(const Args& a) {
   return 0;
 }
 
-int cmd_nas(const Args& a) {
-  const std::string kname = a.get("kernel", "CG");
+int cmd_nas(int argc, char** argv) {
+  std::string kname = "CG", cname = "A", impl_name = "MPICH2", tuning = "tcp";
+  int ranks = 16;
+  bool cluster = false;
+  OptionParser parser("nas", "One NPB kernel run (Figs 10-13 cells).");
+  parser.string_opt("kernel", &kname, "NPB kernel: EP|CG|MG|LU|SP|BT|IS|FT")
+      .string_opt("class", &cname, "problem class: S|A|B")
+      .int_opt("ranks", &ranks, "number of MPI ranks")
+      .string_opt("impl", &impl_name, "implementation name")
+      .string_opt("tuning", &tuning, "tuning level: default|tcp|full")
+      .flag("cluster", &cluster, "run inside one cluster instead of 8+8");
+  int status = 0;
+  if (!parse_or_exit(parser, argc, argv, &status)) return status;
+
   npb::Kernel kernel = npb::Kernel::kCG;
   bool found = false;
   for (auto k : npb::all_kernels())
@@ -152,16 +181,13 @@ int cmd_nas(const Args& a) {
     std::fprintf(stderr, "unknown kernel '%s'\n", kname.c_str());
     return 2;
   }
-  const std::string cname = a.get("class", "A");
   const npb::Class cls = cname == "S"   ? npb::Class::kS
                          : cname == "B" ? npb::Class::kB
                                         : npb::Class::kA;
-  const int ranks = static_cast<int>(a.num("ranks", 16));
   npb::validate_ranks(kernel, ranks);
-  const auto impl = impl_by_name(a.get("impl", "MPICH2"));
-  const auto cfg =
-      profiles::configure(impl, tuning_by_name(a.get("tuning", "tcp")));
-  const bool cluster = a.flag("cluster");
+  const auto impl = impl_by_name(impl_name);
+  const profiles::ExperimentConfig cfg =
+      profiles::experiment(impl).tuning(tuning_by_name(tuning));
   const auto spec = cluster ? topo::GridSpec::single_cluster(ranks)
                             : topo::GridSpec::rennes_nancy((ranks + 1) / 2);
   const auto res = harness::run_npb(spec, ranks, kernel, cls, cfg);
@@ -176,20 +202,32 @@ int cmd_nas(const Args& a) {
   return 0;
 }
 
-int cmd_ray2mesh(const Args& a) {
+int cmd_ray2mesh(int argc, char** argv) {
+  std::string master_name = "rennes", impl_name = "GridMPI";
+  double rays = 1e6;
+  OptionParser parser("ray2mesh",
+                      "The paper's seismic ray tracer (Tables 6/7).");
+  parser.string_opt("master", &master_name,
+                    "master site: rennes|nancy|sophia|toulouse")
+      .real_opt("rays", &rays, "total rays to trace")
+      .string_opt("impl", &impl_name, "implementation name");
+  int status = 0;
+  if (!parse_or_exit(parser, argc, argv, &status)) return status;
+
   const auto spec = topo::GridSpec::ray2mesh_quad(8);
   int master = 0;
-  const std::string want = a.get("master", "rennes");
   for (int s = 0; s < static_cast<int>(spec.sites.size()); ++s)
-    if (spec.sites[static_cast<size_t>(s)].name == want) master = s;
+    if (spec.sites[static_cast<size_t>(s)].name == master_name) master = s;
   apps::Ray2MeshConfig app;
-  app.total_rays = static_cast<int>(a.num("rays", 1e6));
-  const auto impl = impl_by_name(a.get("impl", "GridMPI"));
-  const auto cfg = profiles::configure(impl, profiles::TuningLevel::kTcpTuned);
+  app.total_rays = static_cast<int>(rays);
+  const profiles::ExperimentConfig cfg =
+      profiles::experiment(impl_by_name(impl_name))
+          .tuning(profiles::TuningLevel::kTcpTuned);
   const auto res = apps::run_ray2mesh(spec, master, cfg, app);
-  std::printf("ray2mesh, master=%s: compute %.1f s, merge %.1f s, total %.1f s\n",
-              want.c_str(), to_seconds(res.compute_time),
-              to_seconds(res.merge_time), to_seconds(res.total_time));
+  std::printf(
+      "ray2mesh, master=%s: compute %.1f s, merge %.1f s, total %.1f s\n",
+      master_name.c_str(), to_seconds(res.compute_time),
+      to_seconds(res.merge_time), to_seconds(res.total_time));
   for (int s = 0; s < static_cast<int>(res.rays_per_site.size()); ++s)
     std::printf("  %-9s %d rays\n",
                 spec.sites[static_cast<size_t>(s)].name.c_str(),
@@ -197,12 +235,18 @@ int cmd_ray2mesh(const Args& a) {
   return 0;
 }
 
-int cmd_simri(const Args& a) {
+int cmd_simri(int argc, char** argv) {
+  int object_n = 256, nodes = 8;
+  OptionParser parser("simri", "MRI simulator scaling run (Section 2.2.2).");
+  parser.int_opt("object", &object_n, "object grid size (NxN)")
+      .int_opt("nodes", &nodes, "worker nodes");
+  int status = 0;
+  if (!parse_or_exit(parser, argc, argv, &status)) return status;
+
   apps::SimriConfig app;
-  app.object_n = static_cast<int>(a.num("object", 256));
-  const int nodes = static_cast<int>(a.num("nodes", 8));
-  const auto cfg = profiles::configure(profiles::mpich2(),
-                                       profiles::TuningLevel::kDefault);
+  app.object_n = object_n;
+  const profiles::ExperimentConfig cfg =
+      profiles::experiment(profiles::mpich2());
   const auto res =
       apps::run_simri(topo::GridSpec::single_cluster(16), nodes, cfg, app);
   std::printf(
@@ -213,49 +257,56 @@ int cmd_simri(const Args& a) {
   return 0;
 }
 
-int cmd_slowstart(const Args& a) {
-  const auto impl = impl_by_name(a.get("impl", "TCP"));
-  const auto cfg = profiles::configure(impl,
-                                       profiles::TuningLevel::kFullyTuned);
+int cmd_slowstart(int argc, char** argv) {
+  std::string impl_name = "TCP";
+  int messages = 200;
+  bool cross_traffic = false;
+  OptionParser parser("slowstart",
+                      "Cold-connection per-message bandwidth series (Fig 9).");
+  parser.string_opt("impl", &impl_name, "implementation name")
+      .int_opt("messages", &messages, "number of back-to-back 1 MB messages")
+      .flag("cross-traffic", &cross_traffic,
+            "add bursty cross traffic on 1 Gbps uplinks");
+  int status = 0;
+  if (!parse_or_exit(parser, argc, argv, &status)) return status;
+
+  const auto impl = impl_by_name(impl_name);
+  const profiles::ExperimentConfig cfg =
+      profiles::experiment(impl).tuning(profiles::TuningLevel::kFullyTuned);
   auto spec = topo::GridSpec::rennes_nancy(2);
   harness::CrossTraffic cross;
-  if (a.flag("cross-traffic")) {
+  if (cross_traffic) {
     for (auto& site : spec.sites) site.uplink_bps = 1e9;
     cross.burst_bytes = 24e6;
     cross.period = milliseconds(600);
   }
-  const int count = static_cast<int>(a.num("messages", 200));
   const auto series =
-      harness::slowstart_series(spec, {0, 0, 1, 0}, cfg, 1e6, count, cross);
+      harness::slowstart_series(spec, {0, 0, 1, 0}, cfg, 1e6, messages,
+                                cross);
   std::printf("# t_s,mbps (%s)\n", impl.name.c_str());
   for (const auto& s : series)
     std::printf("%.3f,%.1f\n", to_seconds(s.at), s.mbps);
   return 0;
 }
 
-int cmd_audit(const Args& a) {
-  const std::string which = a.get("scenario", "all");
+int cmd_audit(int argc, char** argv) {
+  std::string which = "all", expect;
+  std::uint64_t seed = 1;
+  OptionParser parser(
+      "audit",
+      "Determinism auditor: run each scenario twice, compare trace digests.");
+  parser.string_opt("scenario", &which,
+                    "scenario name (pingpong|nas|ray2mesh) or 'all'")
+      .u64_opt("seed", &seed, "workload seed folded into both runs")
+      .string_opt("expect", &expect, "expected digest (16 hex digits)");
+  int status = 0;
+  if (!parse_or_exit(parser, argc, argv, &status)) return status;
+
   std::vector<std::string> scenarios;
   if (which == "all") {
     scenarios = harness::audit_scenario_names();
   } else {
     scenarios.push_back(which);
-  }
-  // Strict parse: an audit against a silently-mangled seed would compare
-  // the wrong run and still report success.
-  std::uint64_t seed = 1;
-  if (const std::string s = a.get("seed", ""); !s.empty()) {
-    std::size_t pos = 0;
-    try {
-      seed = std::stoull(s, &pos);
-    } catch (const std::exception&) {
-      pos = 0;
-    }
-    if (pos != s.size()) {
-      std::fprintf(stderr, "error: --seed expects an unsigned integer, got '%s'\n",
-                   s.c_str());
-      return 1;
-    }
   }
   bool ok = true;
   for (const auto& name : scenarios) {
@@ -273,9 +324,9 @@ int cmd_audit(const Args& a) {
       ok = false;
       continue;
     }
-    if (a.flag("expect")) {
+    if (!expect.empty()) {
       const std::uint64_t want =
-          std::strtoull(a.get("expect", "0").c_str(), nullptr, 16);
+          std::strtoull(expect.c_str(), nullptr, 16);
       if (res.first.digest != want) {
         std::fprintf(stderr,
                      "audit %s: digest %016" PRIx64 " != expected %016" PRIx64
@@ -288,10 +339,20 @@ int cmd_audit(const Args& a) {
   return ok ? 0 : 1;
 }
 
-int cmd_bench(const Args& a) {
-  const bool quick = a.flag("quick");
-  const std::string out_dir = a.get("out", ".");
-  const int reps = std::max(1, static_cast<int>(a.num("reps", 3)));
+int cmd_bench(int argc, char** argv) {
+  bool quick = false;
+  std::string out_dir = ".";
+  int reps = 3;
+  OptionParser parser(
+      "bench",
+      "Engine micro-benchmarks + figure subset, written as BENCH_*.json.");
+  parser.flag("quick", &quick, "shrink workloads for CI smoke runs")
+      .string_opt("out", &out_dir, "output directory")
+      .int_opt("reps", &reps, "repetitions (best by events/sec)");
+  int status = 0;
+  if (!parse_or_exit(parser, argc, argv, &status)) return status;
+  reps = std::max(1, reps);
+
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);  // best effort; fopen
                                                      // reports real failures
@@ -332,27 +393,122 @@ int cmd_bench(const Args& a) {
   return 0;
 }
 
+int cmd_campaign(int argc, char** argv) {
+  std::string filter = "*", out_dir = ".";
+  int jobs = 0;
+  std::uint64_t seed = 1;
+  bool render = false, list = false;
+  OptionParser parser(
+      "campaign",
+      "Run the paper's experiment catalog concurrently; write CAMPAIGN.json.\n"
+      "Per-scenario trace digests are independent of --jobs.");
+  parser.string_opt("filter", &filter,
+                    "glob over scenario names and groups ('table4*', 'fig?')")
+      .int_opt("jobs", &jobs, "worker threads; 0 = hardware concurrency")
+      .string_opt("out", &out_dir, "output directory for CAMPAIGN.json")
+      .u64_opt("seed", &seed, "seed folded into every scenario digest")
+      .flag("render", &render, "print each group's figure/table after the run")
+      .flag("list", &list, "list matching scenarios and exit");
+  int status = 0;
+  if (!parse_or_exit(parser, argc, argv, &status)) return status;
+
+  const auto& registry = scenarios::paper_registry();
+  const auto selected = registry.match(filter);
+  if (selected.empty()) {
+    std::fprintf(stderr, "no scenario matches '%s'\n", filter.c_str());
+    return 2;
+  }
+  if (list) {
+    for (std::size_t idx : selected) {
+      const auto& spec = registry.scenarios()[idx];
+      std::printf("%-40s %s\n", spec.name.c_str(), spec.description.c_str());
+    }
+    std::printf("%zu scenarios\n", selected.size());
+    return 0;
+  }
+
+  harness::CampaignOptions options;
+  options.filter = filter;
+  options.jobs = jobs;
+  options.seed = seed;
+  const std::size_t total = selected.size();
+  std::size_t done = 0;
+  // The campaign runner serializes progress callbacks, so the counter and
+  // stdout need no further locking.
+  const auto progress = [&done, total](const harness::ScenarioOutcome& o) {
+    ++done;
+    if (o.ok) {
+      std::printf("[%3zu/%zu] %-40s ok    digest=%016" PRIx64 " %.2fs\n",
+                  done, total, o.name.c_str(), o.digest, o.wall_s);
+    } else {
+      std::printf("[%3zu/%zu] %-40s FAIL  %s\n", done, total, o.name.c_str(),
+                  o.error.c_str());
+    }
+    std::fflush(stdout);
+  };
+  const auto report = harness::run_campaign(registry, options, progress);
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string json_path = out_dir + "/CAMPAIGN.json";
+  if (!harness::write_campaign_json(json_path, report)) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+
+  if (render) {
+    std::vector<std::string> seen;
+    for (const auto& outcome : report.outcomes) {
+      if (std::find(seen.begin(), seen.end(), outcome.group) != seen.end())
+        continue;
+      seen.push_back(outcome.group);
+      std::fputs(
+          harness::render_group(registry, outcome.group, report).c_str(),
+          stdout);
+    }
+  }
+
+  std::printf("campaign: %zu scenarios, %zu failed, jobs=%d, %.2fs; wrote %s\n",
+              report.outcomes.size(), report.failures(), report.jobs,
+              report.wall_s, json_path.c_str());
+  return report.failures() == 0 ? 0 : 1;
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: gridsim <pingpong|latency|nas|ray2mesh|simri|"
-               "slowstart|audit|bench> [--options]\n"
-               "see the header of src/tools/gridsim_cli.cpp\n");
+  std::fprintf(
+      stderr,
+      "usage: gridsim <command> [--options]\n"
+      "commands:\n"
+      "  pingpong   ping-pong latency/bandwidth sweep (Figs 3/5/6/7)\n"
+      "  latency    one-way 1-byte latency (Table 4)\n"
+      "  nas        one NPB kernel run (Figs 10-13 cells)\n"
+      "  ray2mesh   the paper's seismic ray tracer (Tables 6/7)\n"
+      "  simri      MRI simulator scaling run\n"
+      "  slowstart  cold-connection bandwidth series (Fig 9)\n"
+      "  audit      determinism auditor (trace digests)\n"
+      "  bench      engine micro-benchmarks -> BENCH_*.json\n"
+      "  campaign   parallel experiment campaign -> CAMPAIGN.json\n"
+      "run 'gridsim <command> --help' for the command's options\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args a = parse(argc, argv);
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const int opt_argc = argc - 2;
+  char** opt_argv = argv + 2;
   try {
-    if (a.command == "pingpong") return cmd_pingpong(a);
-    if (a.command == "latency") return cmd_latency(a);
-    if (a.command == "nas") return cmd_nas(a);
-    if (a.command == "ray2mesh") return cmd_ray2mesh(a);
-    if (a.command == "simri") return cmd_simri(a);
-    if (a.command == "slowstart") return cmd_slowstart(a);
-    if (a.command == "audit") return cmd_audit(a);
-    if (a.command == "bench") return cmd_bench(a);
+    if (command == "pingpong") return cmd_pingpong(opt_argc, opt_argv);
+    if (command == "latency") return cmd_latency(opt_argc, opt_argv);
+    if (command == "nas") return cmd_nas(opt_argc, opt_argv);
+    if (command == "ray2mesh") return cmd_ray2mesh(opt_argc, opt_argv);
+    if (command == "simri") return cmd_simri(opt_argc, opt_argv);
+    if (command == "slowstart") return cmd_slowstart(opt_argc, opt_argv);
+    if (command == "audit") return cmd_audit(opt_argc, opt_argv);
+    if (command == "bench") return cmd_bench(opt_argc, opt_argv);
+    if (command == "campaign") return cmd_campaign(opt_argc, opt_argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,234 @@
+// Campaign engine tests: the parallel runner must be indistinguishable from
+// the serial one (per-scenario trace digests, registration-order
+// aggregation), and one misbehaving scenario must not take the campaign
+// down with it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/campaign.hpp"
+#include "harness/scenario.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/sync.hpp"
+#include "simcore/trace.hpp"
+
+namespace gridsim::harness {
+namespace {
+
+/// A small but genuinely event-driven workload: `depth` chained timers plus
+/// a coroutine ping-pong, so each scenario folds a non-trivial trace into
+/// its digest. Runs its own Simulation and reports through ctx.hooks, as
+/// the scenario contract requires.
+ScenarioResult timer_chain(const ScenarioContext& ctx, int depth) {
+  Simulation sim;
+  ctx.hooks.on_start(sim);
+  std::uint64_t ticks = 0;
+  std::function<void(int)> arm = [&](int remaining) {
+    if (remaining == 0) return;
+    sim.after(static_cast<SimTime>(remaining * 3 + 1), [&, remaining] {
+      ++ticks;
+      sim.tracer().record(sim.now(), TraceKind::kPhase, "tick",
+                          static_cast<double>(remaining));
+      arm(remaining - 1);
+    });
+  };
+  arm(depth);
+  Mailbox<int> a(sim), b(sim);
+  sim.spawn([](Simulation& s, Mailbox<int>& in, Mailbox<int>& out,
+               int rounds) -> Task<void> {
+    for (int i = 0; i < rounds; ++i) {
+      const int v = co_await in.pop();
+      co_await s.delay(2);
+      out.push(v + 1);
+    }
+  }(sim, a, b, depth));
+  sim.spawn([](Mailbox<int>& in, Mailbox<int>& out, int rounds) -> Task<void> {
+    for (int i = 0; i < rounds; ++i) out.push(co_await in.pop());
+  }(b, a, depth));
+  a.push(0);
+  sim.run();
+  ctx.hooks.on_finish(sim);
+  ScenarioResult res;
+  res.add("ticks", static_cast<double>(ticks));
+  res.add("final_ns", static_cast<double>(sim.now()), "ns");
+  res.note = "chain of depth " + std::to_string(depth) + " completed";
+  return res;
+}
+
+ScenarioRegistry small_registry() {
+  ScenarioRegistry reg;
+  for (int depth : {5, 9, 13, 17, 21, 25}) {
+    ScenarioSpec spec;
+    spec.name = "chain/depth" + std::to_string(depth);
+    spec.group = "chain";
+    spec.description = "timer chain of depth " + std::to_string(depth);
+    spec.expected_metrics = {"ticks", "final_ns"};
+    spec.run = [depth](const ScenarioContext& ctx) {
+      return timer_chain(ctx, depth);
+    };
+    reg.add(std::move(spec));
+  }
+  return reg;
+}
+
+TEST(GlobMatch, StarAndQuestionMark) {
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("fig3*", "fig3/MPICH2"));
+  EXPECT_FALSE(glob_match("fig3*", "fig13/MPICH2"));
+  EXPECT_TRUE(glob_match("table?", "table4"));
+  EXPECT_FALSE(glob_match("table?", "table45"));
+  EXPECT_TRUE(glob_match("*MPICH*", "fig3/MPICH2"));
+  EXPECT_FALSE(glob_match("", "x"));
+  EXPECT_TRUE(glob_match("", ""));
+}
+
+TEST(ScenarioRegistry, RejectsNameCollisions) {
+  ScenarioRegistry reg;
+  ScenarioSpec spec;
+  spec.name = "g/a";
+  spec.group = "g";
+  spec.run = [](const ScenarioContext&) { return ScenarioResult{}; };
+  reg.add(spec);
+  EXPECT_THROW(reg.add(spec), std::invalid_argument);
+  ScenarioSpec unnamed;
+  unnamed.run = spec.run;
+  EXPECT_THROW(reg.add(unnamed), std::invalid_argument);
+  ScenarioSpec no_fn;
+  no_fn.name = "g/b";
+  EXPECT_THROW(reg.add(no_fn), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, RejectsRendererCollisions) {
+  ScenarioRegistry reg;
+  reg.set_renderer("g", [](const auto&, const auto&) { return ""; });
+  EXPECT_THROW(
+      reg.set_renderer("g", [](const auto&, const auto&) { return ""; }),
+      std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, MatchByNameAndGroup) {
+  const auto reg = small_registry();
+  EXPECT_EQ(reg.match("*").size(), 6u);
+  EXPECT_EQ(reg.match("chain").size(), 6u);  // group name matches too
+  EXPECT_EQ(reg.match("chain/depth5").size(), 1u);
+  EXPECT_TRUE(reg.match("nope*").empty());
+  ASSERT_NE(reg.find("chain/depth13"), nullptr);
+  EXPECT_EQ(reg.find("chain/depth999"), nullptr);
+}
+
+TEST(Campaign, ParallelDigestsMatchSerial) {
+  const auto reg = small_registry();
+  CampaignOptions options;
+  options.filter = "*";
+  options.seed = 42;
+  options.jobs = 1;
+  const auto serial = run_campaign(reg, options);
+  ASSERT_EQ(serial.outcomes.size(), 6u);
+  for (const auto& o : serial.outcomes) {
+    EXPECT_TRUE(o.ok) << o.name << ": " << o.error;
+    EXPECT_GT(o.trace_events, 0u) << o.name;
+    EXPECT_NE(o.digest, 0u) << o.name;
+  }
+  for (int jobs : {2, 8}) {
+    options.jobs = jobs;
+    const auto parallel = run_campaign(reg, options);
+    ASSERT_EQ(parallel.outcomes.size(), serial.outcomes.size());
+    for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+      // Same registration order, same digest, bit for bit.
+      EXPECT_EQ(parallel.outcomes[i].name, serial.outcomes[i].name);
+      EXPECT_EQ(parallel.outcomes[i].digest, serial.outcomes[i].digest)
+          << serial.outcomes[i].name << " at jobs=" << jobs;
+      EXPECT_EQ(parallel.outcomes[i].trace_events,
+                serial.outcomes[i].trace_events);
+      EXPECT_EQ(parallel.outcomes[i].final_time,
+                serial.outcomes[i].final_time);
+    }
+  }
+}
+
+TEST(Campaign, SeedChangesDigests) {
+  const auto reg = small_registry();
+  CampaignOptions options;
+  options.jobs = 1;
+  options.seed = 1;
+  const auto one = run_campaign(reg, options);
+  options.seed = 2;
+  const auto two = run_campaign(reg, options);
+  ASSERT_EQ(one.outcomes.size(), two.outcomes.size());
+  EXPECT_NE(one.outcomes[0].digest, two.outcomes[0].digest);
+}
+
+TEST(Campaign, FailureIsolation) {
+  auto reg = small_registry();
+  ScenarioSpec throwing;
+  throwing.name = "bad/throws";
+  throwing.group = "bad";
+  throwing.run = [](const ScenarioContext&) -> ScenarioResult {
+    throw std::runtime_error("deliberate failure");
+  };
+  reg.add(std::move(throwing));
+  ScenarioSpec missing;
+  missing.name = "bad/schema";
+  missing.group = "bad";
+  missing.expected_metrics = {"never_produced"};
+  missing.run = [](const ScenarioContext& ctx) {
+    return timer_chain(ctx, 3);
+  };
+  reg.add(std::move(missing));
+
+  CampaignOptions options;
+  options.jobs = 4;
+  const auto report = run_campaign(reg, options);
+  ASSERT_EQ(report.outcomes.size(), 8u);
+  EXPECT_EQ(report.failures(), 2u);
+  // The six healthy scenarios still completed.
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_TRUE(report.outcomes[i].ok) << report.outcomes[i].name;
+  EXPECT_FALSE(report.outcomes[6].ok);
+  EXPECT_NE(report.outcomes[6].error.find("deliberate failure"),
+            std::string::npos);
+  EXPECT_FALSE(report.outcomes[7].ok);
+  EXPECT_NE(report.outcomes[7].error.find("never_produced"),
+            std::string::npos);
+}
+
+TEST(Campaign, FilterSelectsSubset) {
+  const auto reg = small_registry();
+  CampaignOptions options;
+  options.filter = "chain/depth1?";
+  const auto report = run_campaign(reg, options);
+  ASSERT_EQ(report.outcomes.size(), 2u);  // depths 13 and 17
+  EXPECT_EQ(report.filter, "chain/depth1?");
+}
+
+TEST(Campaign, JsonReportRoundTrip) {
+  const auto reg = small_registry();
+  CampaignOptions options;
+  options.filter = "chain/depth5";
+  const auto report = run_campaign(reg, options);
+  const std::string path = ::testing::TempDir() + "campaign_test.json";
+  ASSERT_TRUE(write_campaign_json(path, report));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_NE(doc.find("\"gridsim-campaign/1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"chain/depth5\""), std::string::npos);
+  EXPECT_NE(doc.find("\"digest\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, RenderGroupFallsBackWithoutRenderer) {
+  const auto reg = small_registry();
+  CampaignOptions options;
+  options.filter = "chain/depth5";
+  const auto report = run_campaign(reg, options);
+  const std::string text = render_group(reg, "chain", report);
+  EXPECT_NE(text.find("chain/depth5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridsim::harness

@@ -84,8 +84,9 @@ Task<void> stress_rank(mpi::Rank& r) {
 RunSignature run_once() {
   Simulation sim;
   topo::Grid grid(sim, topo::GridSpec::rennes_nancy(4));
-  const auto cfg = profiles::configure(profiles::gridmpi(),
-                                       profiles::TuningLevel::kTcpTuned);
+  const profiles::ExperimentConfig cfg =
+      profiles::experiment(profiles::gridmpi())
+          .tuning(profiles::TuningLevel::kTcpTuned);
   mpi::Job job(grid, mpi::block_placement(grid, 8), cfg.profile, cfg.kernel);
   job.launch([](mpi::Rank& r) { return stress_rank(r); });
   const SimTime end = sim.run();

@@ -31,8 +31,7 @@ TEST(Report, Pow2SizesEndpoints) {
 }
 
 profiles::ExperimentConfig tuned() {
-  return profiles::configure(profiles::mpich2(),
-                             profiles::TuningLevel::kFullyTuned);
+  return profiles::experiment(profiles::mpich2()).tuning(profiles::TuningLevel::kFullyTuned);
 }
 
 TEST(Pingpong, LatencyIsRttBound) {

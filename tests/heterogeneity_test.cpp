@@ -58,8 +58,9 @@ TEST(Heterogeneity, FabricIgnoredWithoutPreferFlag) {
 }
 
 TEST(Heterogeneity, LatencyBoundKernelGainsFromNativeFabric) {
-  const auto cfg = profiles::configure(profiles::mpich_madeleine(),
-                                       profiles::TuningLevel::kTcpTuned);
+  const profiles::ExperimentConfig cfg =
+      profiles::experiment(profiles::mpich_madeleine())
+          .tuning(profiles::TuningLevel::kTcpTuned);
   const auto eth = harness::run_npb(myrinet_spec(false), 4, npb::Kernel::kLU,
                                     npb::Class::kS, cfg);
   const auto mx = harness::run_npb(myrinet_spec(true), 4, npb::Kernel::kLU,

@@ -12,8 +12,8 @@ namespace gridsim::npb {
 namespace {
 
 profiles::ExperimentConfig cfg() {
-  return profiles::configure(profiles::mpich2(),
-                             profiles::TuningLevel::kTcpTuned);
+  return profiles::experiment(profiles::mpich2())
+      .tuning(profiles::TuningLevel::kTcpTuned);
 }
 
 class KernelClassSweep

@@ -14,7 +14,8 @@ using harness::run_npb;
 using profiles::TuningLevel;
 
 profiles::ExperimentConfig tuned_mpich2() {
-  return profiles::configure(profiles::mpich2(), TuningLevel::kTcpTuned);
+  return profiles::experiment(profiles::mpich2())
+      .tuning(TuningLevel::kTcpTuned);
 }
 
 TEST(Npb, NamesAndTables) {

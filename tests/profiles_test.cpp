@@ -169,6 +169,56 @@ TEST(Figures, Fig7FullTuningRemovesThresholdDip) {
             tcp_only.at(0).max_bandwidth_mbps * 1.5);
 }
 
+TEST(Builder, MatchesConfigure) {
+  // experiment(x).tuning(level) with no overrides is configure(x, level).
+  for (const auto level : {TuningLevel::kDefault, TuningLevel::kTcpTuned,
+                           TuningLevel::kFullyTuned}) {
+    const ExperimentConfig built = experiment(openmpi()).tuning(level);
+    const ExperimentConfig direct = configure(openmpi(), level);
+    EXPECT_EQ(built.profile.name, direct.profile.name);
+    EXPECT_DOUBLE_EQ(built.profile.eager_threshold,
+                     direct.profile.eager_threshold);
+    EXPECT_DOUBLE_EQ(built.profile.setsockopt_bytes,
+                     direct.profile.setsockopt_bytes);
+    EXPECT_DOUBLE_EQ(built.kernel.tcp_rmem[2], direct.kernel.tcp_rmem[2]);
+  }
+}
+
+TEST(Builder, OverridesWinOverTuningLevel) {
+  // kTcpTuned sets OpenMPI's socket buffers to 4 MB; a post-tuning override
+  // must replace that, not be replaced by it.
+  const ExperimentConfig cfg = experiment(openmpi())
+                                   .tuning(TuningLevel::kTcpTuned)
+                                   .setsockopt_bytes(512e3)
+                                   .eager_threshold(1e12);
+  EXPECT_DOUBLE_EQ(cfg.profile.setsockopt_bytes, 512e3);
+  EXPECT_DOUBLE_EQ(cfg.profile.eager_threshold, 1e12);
+  EXPECT_DOUBLE_EQ(cfg.kernel.tcp_rmem[2], 4.0 * 1024 * 1024);
+}
+
+TEST(Builder, IdentityKnobsApplyBeforeTuning) {
+  const ExperimentConfig cfg = experiment(gridmpi())
+                                   .label("GridMPI (pacing off)")
+                                   .pacing(false)
+                                   .tuning(TuningLevel::kFullyTuned);
+  EXPECT_EQ(cfg.profile.name, "GridMPI (pacing off)");
+  EXPECT_FALSE(cfg.profile.pacing);
+  // Full tuning still leaves GridMPI without a rendez-vous threshold.
+  EXPECT_TRUE(std::isinf(cfg.profile.eager_threshold));
+}
+
+TEST(Builder, KernelAndWanOverrides) {
+  using namespace gridsim::literals;
+  tcp::KernelTunables custom = tcp::KernelTunables::grid_tuned();
+  custom.tcp_rmem[2] = 12345678;
+  const ExperimentConfig cfg = experiment(mpich2())
+                                   .tuning(TuningLevel::kTcpTuned)
+                                   .kernel(custom)
+                                   .wan_extra_overhead(250_us);
+  EXPECT_DOUBLE_EQ(cfg.kernel.tcp_rmem[2], 12345678);
+  EXPECT_EQ(cfg.profile.wan_extra_overhead, 250_us);
+}
+
 TEST(Figures, PingpongSweepSizesAreOrdered) {
   const auto sizes = harness::pow2_sizes(1024, 64e6 /* ~64 MB */);
   ASSERT_GE(sizes.size(), 16u);

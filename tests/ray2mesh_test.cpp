@@ -12,7 +12,8 @@ namespace {
 using profiles::TuningLevel;
 
 profiles::ExperimentConfig cfg() {
-  return profiles::configure(profiles::gridmpi(), TuningLevel::kTcpTuned);
+  return profiles::experiment(profiles::gridmpi())
+      .tuning(TuningLevel::kTcpTuned);
 }
 
 /// A small config so tests run fast: 10k rays, light merge.

@@ -12,7 +12,7 @@ namespace {
 
 profiles::ExperimentConfig cfg(profiles::TuningLevel level =
                                    profiles::TuningLevel::kTcpTuned) {
-  return profiles::configure(profiles::mpich2(), level);
+  return profiles::experiment(profiles::mpich2()).tuning(level);
 }
 
 TEST(Replay, RecordCapturesEveryPayload) {

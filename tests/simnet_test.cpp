@@ -221,10 +221,10 @@ TEST_P(MaxMinProperty, ConservationAndFairness) {
   std::vector<LinkId> uplinks;
   const LinkId wan = n.add_link("wan", 1e8, 5_ms, 1e6);
   for (int i = 0; i < nflows; ++i) {
-    senders.push_back(n.add_host("s" + std::to_string(i)));
-    receivers.push_back(n.add_host("r" + std::to_string(i)));
-    uplinks.push_back(
-        n.add_link("up" + std::to_string(i), 4e7, 1_ms, 1e6));
+    const std::string suffix = std::to_string(i);
+    senders.push_back(n.add_host("s" + suffix));
+    receivers.push_back(n.add_host("r" + suffix));
+    uplinks.push_back(n.add_link("up" + suffix, 4e7, 1_ms, 1e6));
     n.add_route(senders.back(), receivers.back(), {uplinks.back(), wan});
   }
   std::vector<FlowId> flows;

@@ -10,8 +10,8 @@ namespace gridsim::apps {
 namespace {
 
 profiles::ExperimentConfig cfg() {
-  return profiles::configure(profiles::mpich2(),
-                             profiles::TuningLevel::kDefault);
+  return profiles::experiment(profiles::mpich2())
+      .tuning(profiles::TuningLevel::kDefault);
 }
 
 TEST(Simri, EightNodeClusterEfficiencyNear100Percent) {

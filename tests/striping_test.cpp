@@ -70,8 +70,9 @@ TEST(Striping, IntraClusterMessagesAreNotStriped) {
   // Striping only applies on WAN paths (rtt >= 1 ms).
   Simulation sim;
   topo::Grid grid(sim, topo::GridSpec::single_cluster(2));
-  const auto cfg = profiles::configure(profiles::mpich_g2(),
-                                       profiles::TuningLevel::kDefault);
+  const profiles::ExperimentConfig cfg =
+      profiles::experiment(profiles::mpich_g2())
+          .tuning(profiles::TuningLevel::kDefault);
   Job job(grid, block_placement(grid, 2), cfg.profile, cfg.kernel);
   std::vector<RecvInfo> got;
   SimTime done = -1;

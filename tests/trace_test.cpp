@@ -88,8 +88,9 @@ TEST(Trace, MpiPayloadsTraced) {
   Simulation sim;
   sim.tracer().enable(TraceKind::kMessage);
   topo::Grid grid(sim, topo::GridSpec::rennes_nancy(1));
-  const auto cfg = profiles::configure(profiles::mpich2(),
-                                       profiles::TuningLevel::kTcpTuned);
+  const profiles::ExperimentConfig cfg =
+      profiles::experiment(profiles::mpich2())
+          .tuning(profiles::TuningLevel::kTcpTuned);
   mpi::Job job(grid, mpi::block_placement(grid, 2), cfg.profile, cfg.kernel);
   sim.spawn([](mpi::Rank& r) -> Task<void> { co_await r.send(1, 777, 0); }(
       job.rank(0)));
