@@ -74,6 +74,7 @@ Ray2MeshResult run_ray2mesh(const topo::GridSpec& spec, int master_site,
   Simulation sim;
   if (hooks.on_start) hooks.on_start(sim);
   topo::Grid grid(sim, spec);
+  auto faults = topo::install_faults(grid, cfg.faults);
   // Rank 0: master, co-located with the first slave of its cluster.
   std::vector<net::HostId> placement;
   placement.push_back(grid.node(master_site, 0));
@@ -104,6 +105,7 @@ Ray2MeshResult run_ray2mesh(const topo::GridSpec& spec, int master_site,
   result.compute_time = sh.compute_done;
   result.merge_time = sh.merge_done - sh.compute_done;
   result.total_time = sh.total_done;
+  result.degraded_progress_events = job.degraded_progress_events();
   return result;
 }
 

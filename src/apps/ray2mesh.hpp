@@ -41,6 +41,9 @@ struct Ray2MeshResult {
   SimTime compute_time = 0;  ///< work distribution phase duration
   SimTime merge_time = 0;    ///< merge phase duration
   SimTime total_time = 0;    ///< compute + merge + init/write
+  /// TCP stall (RTO-like) events across the job: nonzero when a fault plan
+  /// degraded the WAN during the run (see mpi::Job).
+  int degraded_progress_events = 0;
 };
 
 /// Runs ray2mesh over every node of `spec` (one slave per node, plus a

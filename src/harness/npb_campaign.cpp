@@ -24,6 +24,7 @@ NpbRunResult run_npb(const topo::GridSpec& spec, int nranks, npb::Kernel k,
   Simulation sim;
   if (hooks.on_start) hooks.on_start(sim);
   topo::Grid grid(sim, spec);
+  auto faults = topo::install_faults(grid, cfg.faults);
   mpi::Job job(grid, mpi::block_placement(grid, nranks), cfg.profile,
                cfg.kernel);
   std::vector<SimTime> finish(static_cast<size_t>(nranks), 0);
@@ -44,6 +45,7 @@ NpbRunResult run_npb(const topo::GridSpec& spec, int nranks, npb::Kernel k,
                         ? (timeout > 0 ? timeout : sim.now())
                         : *std::max_element(finish.begin(), finish.end());
   result.traffic = job.traffic();
+  result.degraded_progress_events = job.degraded_progress_events();
   if (hooks.on_finish) hooks.on_finish(sim);
   return result;
 }

@@ -12,6 +12,9 @@ struct NpbRunResult {
   SimTime makespan = 0;  ///< completion time of the slowest rank
   bool timed_out = false;  ///< the run exceeded the virtual-time limit
   mpi::TrafficStats traffic;
+  /// TCP stall (RTO-like) events across the job (see mpi::Job); nonzero
+  /// only under an active fault plan.
+  int degraded_progress_events = 0;
 };
 
 /// Runs one kernel at one class over `nranks` block-placed ranks.

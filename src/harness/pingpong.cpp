@@ -67,6 +67,7 @@ std::vector<PingpongPoint> pingpong_sweep(const topo::GridSpec& spec,
   Simulation sim;
   if (hooks.on_start) hooks.on_start(sim);
   topo::Grid grid(sim, spec);
+  auto faults = topo::install_faults(grid, cfg.faults);
   mpi::Job job(grid, endpoint_placement(grid, ends), cfg.profile, cfg.kernel);
   SweepState state;
   state.options = &options;
@@ -147,6 +148,7 @@ std::vector<SlowstartSample> slowstart_series(
   if (cross.burst_bytes > 0 &&
       (grid.nodes_at(ends.site_a) < 2 || grid.nodes_at(ends.site_b) < 2))
     throw std::invalid_argument("cross traffic needs 2 nodes per site");
+  auto faults = topo::install_faults(grid, cfg.faults);
   mpi::Job job(grid, endpoint_placement(grid, ends), cfg.profile, cfg.kernel);
   SeriesState state;
   state.bytes = bytes;

@@ -179,6 +179,15 @@ class Job {
   Simulation& sim() { return grid_->network().sim(); }
   TrafficStats& traffic() { return traffic_; }
 
+  /// Total TCP stall (RTO-like retry) events across this job's channels:
+  /// the MPI-visible face of injected WAN faults (simfault). Zero on a
+  /// healthy network.
+  int degraded_progress_events() const {
+    int n = 0;
+    for (const auto& [key, ch] : channels_) n += ch->stall_events();
+    return n;
+  }
+
   /// Spawns `rank_main(rank)` for every rank.
   void launch(std::function<Task<void>(Rank&)> rank_main);
 

@@ -140,6 +140,7 @@ ExperimentConfig ExperimentBuilder::build() const {
   if (setsockopt_bytes_) cfg.profile.setsockopt_bytes = *setsockopt_bytes_;
   if (wan_extra_overhead_)
     cfg.profile.wan_extra_overhead = *wan_extra_overhead_;
+  cfg.faults = faults_;
   return cfg;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "mpi/profile.hpp"
+#include "simfault/injector.hpp"
 #include "simtcp/tcp.hpp"
 
 namespace gridsim::profiles {
@@ -21,10 +22,13 @@ enum class TuningLevel {
 
 std::string to_string(TuningLevel level);
 
-/// A profile + kernel pair ready to build a Job with.
+/// A profile + kernel pair ready to build a Job with, plus the fault
+/// schedule to install on the deployment (inactive by default — see
+/// simfault/injector.hpp and topo::install_faults).
 struct ExperimentConfig {
   mpi::ImplProfile profile;
   tcp::KernelTunables kernel;
+  simfault::FaultPlan faults;
 };
 
 /// MPICH2 1.0.5: the reference implementation. No grid awareness; kernel
@@ -129,6 +133,33 @@ class ExperimentBuilder {
     wan_extra_overhead_ = cost;
     return *this;
   }
+  /// Fault knobs (applied after tuning, like the other overrides; they do
+  /// not interact with the tuning level). `faults` replaces the whole plan;
+  /// the granular setters edit one spec each and compose.
+  ExperimentBuilder& faults(simfault::FaultPlan plan) {
+    faults_ = std::move(plan);
+    return *this;
+  }
+  ExperimentBuilder& jitter(simfault::JitterSpec spec) {
+    faults_.jitter = std::move(spec);
+    return *this;
+  }
+  ExperimentBuilder& flap(simfault::FlapSpec spec) {
+    faults_.flap = std::move(spec);
+    return *this;
+  }
+  ExperimentBuilder& loss_episodes(simfault::LossEpisodeSpec spec) {
+    faults_.loss_episodes = std::move(spec);
+    return *this;
+  }
+  ExperimentBuilder& cross_traffic(simfault::CrossTrafficSpec spec) {
+    faults_.cross = std::move(spec);
+    return *this;
+  }
+  ExperimentBuilder& fault_seed(std::uint64_t seed) {
+    faults_.seed = seed;
+    return *this;
+  }
 
   ExperimentConfig build() const;
   // NOLINTNEXTLINE(google-explicit-constructor): terse call sites by design.
@@ -142,6 +173,7 @@ class ExperimentBuilder {
   std::optional<double> eager_threshold_;
   std::optional<double> setsockopt_bytes_;
   std::optional<SimTime> wan_extra_overhead_;
+  simfault::FaultPlan faults_;
 };
 
 /// Entry point of the fluent API: `experiment(mpich2()).tuning(...)`.

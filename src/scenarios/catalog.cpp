@@ -41,6 +41,7 @@ const harness::ScenarioRegistry& paper_registry() {
     detail::register_slowstart_catalog(reg);
     detail::register_nas_catalog(reg);
     detail::register_apps_catalog(reg);
+    detail::register_robust_catalog(reg);
     return reg;
   }();
   return registry;

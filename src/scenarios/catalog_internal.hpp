@@ -29,6 +29,11 @@ void register_nas_catalog(harness::ScenarioRegistry& reg);
 /// The ray2mesh application: table6, table7.
 void register_apps_catalog(harness::ScenarioRegistry& reg);
 
+/// Robustness under injected WAN faults: loss-episode sweeps per
+/// implementation, RTT jitter, link flap, background cross traffic, and the
+/// packet-level loss models (simfault).
+void register_robust_catalog(harness::ScenarioRegistry& reg);
+
 /// TCP baseline + the four implementations, in the paper's order.
 std::vector<mpi::ImplProfile> profiles_with_tcp();
 

@@ -9,6 +9,7 @@ std::string to_string(TraceKind kind) {
     case TraceKind::kLoss: return "loss";
     case TraceKind::kFlow: return "flow";
     case TraceKind::kPhase: return "phase";
+    case TraceKind::kFault: return "fault";
     case TraceKind::kKindCount: break;
   }
   return "?";

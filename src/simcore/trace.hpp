@@ -23,6 +23,7 @@ enum class TraceKind : std::uint8_t {
   kLoss,         ///< TCP loss event (cwnd before the loss)
   kFlow,         ///< fluid flow start/finish (bytes)
   kPhase,        ///< application phase marker
+  kFault,        ///< injected fault or degraded-progress event (simfault)
   kKindCount,
 };
 

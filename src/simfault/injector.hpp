@@ -1,0 +1,169 @@
+// Fault-injection engine: schedules seeded WAN variability onto a Network.
+//
+// A `FaultPlan` aggregates the knobs; a `FaultInjector` constructed over a
+// live Network resolves each spec's link glob against the topology and
+// installs the corresponding processes on the simulation's event queue:
+//
+//  * jitter        — periodic redraws of matched links' propagation latency
+//  * flap          — matched links collapse to a trickle capacity and come
+//                    back (down -> timeout -> up), repeatable
+//  * loss episodes — a Poisson process of short capacity dips on matched
+//                    links: the fluid analogue of bursty WAN packet loss
+//                    (un-paced senders overflow the shrunken pipe and the
+//                    TCP model takes real loss events)
+//  * cross traffic — background flow generators with random bursts and gaps
+//                    between caller-supplied host pairs
+//
+// Every process is finite (bounded repeats or a stop_after horizon), so
+// `Simulation::run()` still terminates, and every random draw comes from
+// Rngs derived from `FaultPlan::seed` — the whole schedule is deterministic
+// per seed and is recorded as TraceKind::kFault events, so campaign digests
+// capture injected faults bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simcore/rng.hpp"
+#include "simcore/time.hpp"
+#include "simfault/fault.hpp"
+#include "simnet/network.hpp"
+
+namespace gridsim::simfault {
+
+/// RTT jitter / delay variation: every `period`, each matched link's
+/// propagation latency is redrawn uniformly in
+/// [nominal*(1-amplitude), nominal*(1+amplitude)].
+struct JitterSpec {
+  double amplitude = 0.0;  ///< 0 disables; must stay < 1
+  SimTime period = milliseconds(50);
+  SimTime stop_after = seconds(60);  ///< horizon so the run terminates
+  std::string link_glob = "*-*";     ///< WAN backbone links by default
+  bool active() const { return amplitude > 0; }
+};
+
+/// Link flap: at `down_at` the matched links collapse to `down_capacity`
+/// (a trickle, never zero — control traffic still crawls and deadlock stays
+/// visible); `down_for` later they are restored. Repeats `repeats` times
+/// every `repeat_every`.
+struct FlapSpec {
+  SimTime down_at = 0;
+  SimTime down_for = 0;  ///< 0 disables
+  SimTime repeat_every = 0;
+  int repeats = 1;
+  double down_capacity = 1.0;  ///< B/s while down; must stay positive
+  std::string link_glob = "*-*";
+  bool active() const { return down_for > 0 && repeats > 0; }
+};
+
+/// Random WAN loss episodes: a Poisson process (mean `rate_per_s` episodes
+/// per second, exponential inter-arrivals) of `duration`-long capacity dips
+/// to `capacity_factor` of nominal on one random matched link per episode.
+struct LossEpisodeSpec {
+  double rate_per_s = 0;  ///< 0 disables
+  SimTime duration = milliseconds(40);
+  double capacity_factor = 0.05;  ///< must stay positive
+  SimTime stop_after = seconds(60);
+  std::string link_glob = "*-*";
+  bool active() const { return rate_per_s > 0; }
+};
+
+/// Background cross-traffic: `flows` independent generators, each looping
+/// "send a uniform random burst between a random host pair, idle a uniform
+/// random gap" until `stop_after`. Bursts ride raw fluid flows (plain bulk
+/// transfers), so they contend with the experiment's TCP traffic for link
+/// capacity exactly like competing RENATER flows did in the paper.
+struct CrossTrafficSpec {
+  int flows = 0;  ///< 0 disables
+  double min_burst_bytes = 1e6;
+  double max_burst_bytes = 16e6;
+  SimTime min_gap = milliseconds(50);
+  SimTime max_gap = milliseconds(500);
+  SimTime stop_after = seconds(30);
+  bool active() const { return flows > 0; }
+};
+
+/// The whole fault schedule for one experiment. Inactive by default, so an
+/// `ExperimentConfig` without fault knobs behaves exactly as before.
+struct FaultPlan {
+  JitterSpec jitter;
+  FlapSpec flap;
+  LossEpisodeSpec loss_episodes;
+  CrossTrafficSpec cross;
+  std::uint64_t seed = 1;
+
+  bool active() const {
+    return jitter.active() || flap.active() || loss_episodes.active() ||
+           cross.active();
+  }
+};
+
+/// Installs a FaultPlan's processes on `net`'s simulation. Construct after
+/// the topology is built and before `Simulation::run()`; keep it alive until
+/// the run drains (the scheduled callbacks point back into it).
+/// `cross_pairs` are the candidate (src, dst) host pairs for cross-traffic
+/// generators (see topo::wan_host_pairs for grid deployments); required only
+/// when the plan's cross-traffic spec is active.
+class FaultInjector {
+ public:
+  FaultInjector(net::Network& net, FaultPlan plan,
+                std::vector<std::pair<net::HostId, net::HostId>> cross_pairs =
+                    {});
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- observability ------------------------------------------------------
+  int jitter_redraws() const { return jitter_redraws_; }
+  int flap_transitions() const { return flap_transitions_; }
+  int loss_episodes_started() const { return episodes_; }
+  int cross_bursts() const { return cross_bursts_; }
+
+ private:
+  /// Per-target-link bookkeeping: the nominal values plus which fault
+  /// sources currently hold the link degraded, so overlapping flap and loss
+  /// episodes compose instead of clobbering each other's restores.
+  struct LinkState {
+    net::LinkId id = -1;
+    double nominal_capacity = 0;
+    SimTime nominal_latency = 0;
+    bool flapped_down = false;
+    int active_dips = 0;
+  };
+
+  LinkState& state_of(net::LinkId id);
+  /// Re-derives and applies the link's effective capacity from its state.
+  void apply_capacity(LinkState& st);
+  std::vector<net::LinkId> match_links(const std::string& glob) const;
+  void record(TraceKind kind, const std::string& subject, double value,
+              const char* detail);
+
+  void install_jitter();
+  void install_flap();
+  void install_loss_episodes();
+  void install_cross_traffic();
+
+  void jitter_tick();
+  void schedule_next_episode(SimTime horizon);
+  void cross_burst(int generator);
+
+  net::Network& net_;
+  Simulation& sim_;
+  FaultPlan plan_;
+  std::vector<std::pair<net::HostId, net::HostId>> cross_pairs_;
+  std::vector<std::unique_ptr<LinkState>> links_;  // stable addresses
+  std::vector<net::LinkId> jitter_targets_;
+  std::vector<net::LinkId> flap_targets_;
+  std::vector<net::LinkId> episode_targets_;
+  Rng jitter_rng_;
+  Rng episode_rng_;
+  std::vector<Rng> cross_rngs_;  // one per generator
+  int jitter_redraws_ = 0;
+  int flap_transitions_ = 0;
+  int episodes_ = 0;
+  int cross_bursts_ = 0;
+};
+
+}  // namespace gridsim::simfault

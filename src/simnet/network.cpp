@@ -10,6 +10,14 @@ namespace gridsim::net {
 namespace {
 constexpr double kByteEpsilon = 1e-6;  // below this a flow counts as done
 constexpr double kMinRate = 1e-3;      // B/s floor to avoid infinite etas
+// Completion checks are never scheduled further out than this. A flow
+// crawling at a fault-collapsed rate would otherwise park an event at its
+// astronomically distant eta; since stale events cannot be removed from the
+// queue, that event would keep the simulation alive (and its clock running)
+// long after every process finished. Clamped checks simply re-settle and
+// re-arm, so genuinely slow flows still complete. No healthy flow's eta
+// comes close to this horizon (the longest clean transfers are seconds).
+constexpr gridsim::SimTime kMaxCompletionCheck = gridsim::seconds(60);
 }  // namespace
 
 HostId Network::add_host(std::string name, double cpu_speed) {
@@ -77,6 +85,20 @@ void Network::set_link_capacity(LinkId l, double capacity_bytes_per_sec) {
   settle();
   links_.at(static_cast<size_t>(l)).capacity = capacity_bytes_per_sec;
   solve_and_schedule();
+}
+
+void Network::set_link_latency(LinkId l, SimTime latency) {
+  if (latency < 0) throw std::invalid_argument("link latency must be >= 0");
+  Link& link_ref = links_.at(static_cast<size_t>(l));
+  if (link_ref.latency == latency) return;
+  link_ref.latency = latency;
+  for (auto& [key, r] : routes_) {
+    if (std::find(r.links.begin(), r.links.end(), l) == r.links.end())
+      continue;
+    SimTime sum = 0;
+    for (LinkId rl : r.links) sum += links_[static_cast<size_t>(rl)].latency;
+    r.latency = sum;
+  }
 }
 
 FlowId Network::start_flow(HostId src, HostId dst, double bytes,
@@ -248,9 +270,8 @@ void Network::schedule_completion(Flow& f) {
     return;
   }
   const double rate = std::max(f.rate, kMinRate);
-  const SimTime eta = sim_.now() + from_seconds(f.remaining / rate);
-  if (eta >= kSimTimeNever) return;  // effectively stalled; a cap/flow change
-                                     // will reschedule
+  const SimTime dur = from_seconds(f.remaining / rate);
+  const SimTime eta = sim_.now() + std::min(dur, kMaxCompletionCheck);
   // Only schedule if this beats the already-pending check: keeps the event
   // horizon monotonically shrinking per flow (rate drops are handled by the
   // earlier event firing, re-settling and rescheduling).

@@ -104,6 +104,13 @@ class Network {
   /// than zero so control traffic still trickles and deadlock is visible.
   void set_link_capacity(LinkId l, double capacity_bytes_per_sec);
 
+  /// Changes a link's propagation latency at runtime (WAN jitter / delay
+  /// variation injection). Every registered route crossing the link has its
+  /// cached latency sum recomputed; in-flight fluid transfers pick the new
+  /// value up at delivery time because propagation is applied by the caller
+  /// when the last byte leaves the pipe.
+  void set_link_latency(LinkId l, SimTime latency);
+
   /// Starts transferring `bytes` from src to dst. `on_complete` fires (via
   /// the event queue) when the last byte has left the sender-side fluid
   /// pipe; propagation latency is applied by the caller (the TCP layer).

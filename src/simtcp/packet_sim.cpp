@@ -19,7 +19,8 @@ class PacketTcp {
         received_(static_cast<size_t>(total_packets_), 0),
         forced_drop_(static_cast<size_t>(total_packets_), 0),
         cwnd_(cfg.initial_window_packets),
-        window_limit_(std::max(1.0, cfg.window_limit_bytes / cfg.mss)) {
+        window_limit_(std::max(1.0, cfg.window_limit_bytes / cfg.mss)),
+        loss_(cfg.loss) {
     for (int seq : cfg.forced_drops) {
       if (seq >= 0 && seq < total_packets_)
         forced_drop_[static_cast<size_t>(seq)] = 1;
@@ -56,6 +57,16 @@ class PacketTcp {
         forced_drop_[static_cast<size_t>(seq)] != 0) {
       forced_drop_[static_cast<size_t>(seq)] = 0;
       ++result_.losses;
+      return false;
+    }
+    // Random channel loss: one decision per attempt (first transmissions
+    // AND retransmits), so burst losses can eat a retransmit too and only
+    // the RTO rescue path guarantees eventual delivery.
+    if (loss_.drop()) {
+      ++result_.losses;
+      ++result_.injected_losses;
+      sim_.tracer().record(sim_.now(), TraceKind::kFault, "packet",
+                           static_cast<double>(seq), "injected-loss");
       return false;
     }
     if (queue_len_ >= cfg_.queue_packets) {
@@ -210,6 +221,8 @@ class PacketTcp {
   // Bottleneck state.
   int queue_len_ = 0;
   SimTime server_free_ = 0;
+
+  simfault::LossProcess loss_;  // random channel drops, one draw per attempt
 
   SimTime done_at_ = -1;
   PacketSimResult result_;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "simcore/simulation.hpp"
+#include "simfault/fault.hpp"
 #include "simtcp/tcp.hpp"
 
 namespace gridsim::tcp {
@@ -40,6 +41,11 @@ struct PacketSimConfig {
   /// (counted as losses). Retransmissions of the same sequence go through,
   /// so each entry injects exactly one deterministic, isolated loss.
   std::vector<int> forced_drops;
+  /// Random channel loss (i.i.d. or Gilbert-Elliott bursts), sampled on
+  /// EVERY transmission attempt including retransmits — the RTO path
+  /// retries until a copy survives, so transfers still complete for any
+  /// loss rate below 1. Inactive by default.
+  simfault::PacketLossSpec loss;
 };
 
 struct PacketSimResult {
@@ -49,6 +55,7 @@ struct PacketSimResult {
   int retransmits = 0;
   int rto_timeouts = 0;      ///< genuine RTO expiries (cwnd collapses)
   int retransmit_drops = 0;  ///< recovery retransmits lost to a full queue
+  int injected_losses = 0;   ///< drops taken from PacketSimConfig::loss
   double max_cwnd_packets = 0;
 };
 

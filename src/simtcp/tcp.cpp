@@ -10,6 +10,13 @@ namespace gridsim::tcp {
 
 namespace {
 
+/// Below this allocated rate (B/s) a tick counts as a stall: unreachable in
+/// any healthy configuration (the smallest window cap is ~2 MSS per RTT, a
+/// few kB/s even on second-long RTTs), but safely above the trickle
+/// capacity a flapped-down link leaves behind (FlapSpec::down_capacity,
+/// default 1 B/s).
+constexpr double kStallRate = 8.0;
+
 double effective_buffer(double setsockopt_request, double core_max,
                         const double auto_bounds[3], bool lock_to_initial) {
   if (setsockopt_request > 0) {
@@ -181,16 +188,46 @@ void TcpChannel::on_head_drained() {
   if (!segments_.empty()) start_head_segment();
 }
 
-void TcpChannel::schedule_tick() {
+void TcpChannel::schedule_tick() { schedule_tick(std::max<SimTime>(rtt_, 1)); }
+
+void TcpChannel::schedule_tick(SimTime delay) {
   const std::uint64_t gen = ++tick_gen_;
-  sim_.after(std::max<SimTime>(rtt_, 1), [this, gen] { on_tick(gen); });
+  sim_.after(std::max<SimTime>(delay, 1), [this, gen] { on_tick(gen); });
 }
 
 void TcpChannel::on_tick(std::uint64_t gen) {
   if (gen != tick_gen_) return;  // superseded
   if (flow_ == net::kInvalidFlow) return;  // went idle; next send restarts
 
+  // WAN jitter moves propagation latency under the connection's feet;
+  // re-read it so the window/RTT cap and the tick cadence track the path.
+  // Without fault injection latencies are static and this is a no-op.
+  rtt_ = 2 * net_.path_latency(src_, dst_);
+
   const net::FlowInfo info = net_.flow_info(flow_);
+
+  // Degraded progress: the allocation collapsed to (near) nothing — a link
+  // flapped down or a loss episode swallowed the path. Behave like a real
+  // sender taking back-to-back RTOs: drop to the restart window, retry at
+  // exponentially backed-off intervals, and surface the event.
+  if (info.rate < kStallRate) {
+    ++stall_events_;
+    ssthresh_ = std::max(cwnd_ / 2, 2 * params_.mss);
+    cwnd_ = params_.initial_window_mss * params_.mss;
+    in_slow_start_ = true;
+    if (sim_.tracer().enabled(TraceKind::kFault)) {
+      sim_.tracer().record(sim_.now(), TraceKind::kFault,
+                           net_.host(src_).name + "->" + net_.host(dst_).name,
+                           static_cast<double>(stall_events_), "tcp-retry");
+    }
+    stall_backoff_ = stall_backoff_ == 0
+                         ? std::max<SimTime>(rtt_, params_.idle_rto)
+                         : std::min<SimTime>(stall_backoff_ * 2, seconds(2));
+    update_flow_cap();
+    schedule_tick(stall_backoff_);
+    return;
+  }
+  stall_backoff_ = 0;
   const double rtt_s = to_seconds(std::max<SimTime>(rtt_, 1));
   const double bdp_share = info.achievable_rate * rtt_s;
   const double queue_frac = pacing_ ? 1.0 : params_.unpaced_queue_fraction;

@@ -123,6 +123,10 @@ class TcpChannel {
   double effective_rcvbuf() const { return rcv_limit_; }
   SimTime rtt() const { return rtt_; }
   int loss_events() const { return loss_events_; }
+  /// Ticks that found the flow's allocation collapsed to (near) zero — the
+  /// path flapped down or was swallowed by an injected fault. Each one is an
+  /// RTO-like restart; surfaced by mpi::Job as degraded-progress events.
+  int stall_events() const { return stall_events_; }
   double bytes_delivered() const { return bytes_delivered_; }
   bool idle() const { return segments_.empty(); }
   net::HostId source() const { return src_; }
@@ -141,6 +145,7 @@ class TcpChannel {
   void start_head_segment();
   void on_head_drained();
   void schedule_tick();
+  void schedule_tick(SimTime delay);
   void on_tick(std::uint64_t gen);
   void on_loss();
   void grow_window();
@@ -177,8 +182,12 @@ class TcpChannel {
   std::uint64_t tick_gen_ = 0;
   SimTime last_active_ = 0;
 
+  // Degraded-progress state: exponential probe backoff while stalled.
+  SimTime stall_backoff_ = 0;  ///< 0 = not currently backing off
+
   // Stats.
   int loss_events_ = 0;
+  int stall_events_ = 0;
   double bytes_delivered_ = 0;
 };
 

@@ -1,7 +1,10 @@
 #include "topology/grid5000.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace gridsim::topo {
 
@@ -214,6 +217,36 @@ int Grid::site_of(net::HostId h) const {
 
 SimTime Grid::rtt(net::HostId a, net::HostId b) const {
   return network_.path_latency(a, b) + network_.path_latency(b, a);
+}
+
+std::vector<std::pair<net::HostId, net::HostId>> wan_host_pairs(
+    const Grid& grid) {
+  std::vector<std::pair<net::HostId, net::HostId>> pairs;
+  const int nsites = grid.site_count();
+  if (nsites == 1) {
+    // No WAN to cross: a ring of intra-site pairs keeps cross-traffic
+    // meaningful on single-cluster deployments.
+    const int n = grid.nodes_at(0);
+    for (int i = 0; i < n && n > 1; ++i)
+      pairs.emplace_back(grid.node(0, i), grid.node(0, (i + 1) % n));
+    return pairs;
+  }
+  for (int s1 = 0; s1 < nsites; ++s1) {
+    for (int s2 = 0; s2 < nsites; ++s2) {
+      if (s1 == s2) continue;
+      const int n = std::min(grid.nodes_at(s1), grid.nodes_at(s2));
+      for (int k = 0; k < n; ++k)
+        pairs.emplace_back(grid.node(s1, k), grid.node(s2, k));
+    }
+  }
+  return pairs;
+}
+
+std::unique_ptr<simfault::FaultInjector> install_faults(
+    Grid& grid, const simfault::FaultPlan& plan) {
+  if (!plan.active()) return nullptr;
+  return std::make_unique<simfault::FaultInjector>(grid.network(), plan,
+                                                   wan_host_pairs(grid));
 }
 
 }  // namespace gridsim::topo

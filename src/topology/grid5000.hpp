@@ -16,10 +16,13 @@
 // one-way time of 5812 us for the 11.6 ms RTT pair.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simcore/simulation.hpp"
+#include "simfault/injector.hpp"
 #include "simnet/network.hpp"
 #include "simtcp/tcp.hpp"
 
@@ -95,5 +98,20 @@ class Grid {
   std::vector<std::vector<net::HostId>> site_nodes_;
   std::vector<int> host_site_;
 };
+
+/// Candidate (src, dst) host pairs for background cross-traffic on this
+/// deployment: index-matched node pairs for every ordered pair of distinct
+/// sites (traffic that crosses the WAN, like competing RENATER flows). On a
+/// single-site grid, falls back to a ring of intra-site node pairs.
+std::vector<std::pair<net::HostId, net::HostId>> wan_host_pairs(
+    const Grid& grid);
+
+/// Builds a FaultInjector over the grid's network, wiring cross-traffic
+/// generators to wan_host_pairs(). Returns nullptr for an inactive plan —
+/// callers hold the result until Simulation::run() drains. Note host names
+/// carry no dash ("rennes0"), so the specs' default "*-*" glob selects
+/// exactly the WAN backbone links ("rennes-nancy", "rennes-nancy.rev").
+std::unique_ptr<simfault::FaultInjector> install_faults(
+    Grid& grid, const simfault::FaultPlan& plan);
 
 }  // namespace gridsim::topo

@@ -11,6 +11,7 @@
 
 #include "harness/campaign.hpp"
 #include "harness/scenario.hpp"
+#include "scenarios/catalog.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/sync.hpp"
 #include "simcore/trace.hpp"
@@ -228,6 +229,82 @@ TEST(Campaign, RenderGroupFallsBackWithoutRenderer) {
   const auto report = run_campaign(reg, options);
   const std::string text = render_group(reg, "chain", report);
   EXPECT_NE(text.find("chain/depth5"), std::string::npos);
+}
+
+// --- Golden-digest determinism for the fault-injection catalog -------------
+//
+// The robust/* scenarios exercise every injector (loss episodes, jitter,
+// flap, cross traffic, packet-level loss). Their digests must be
+// byte-identical across job counts and across reruns with the same seed, and
+// must move when the seed moves — otherwise "seeded fault schedule" would be
+// an empty promise. These run the real paper registry, so they are the
+// slowest tests in this binary; the subset is kept to the cheap robust
+// scenarios plus a spot-check pair of expensive ones.
+
+TEST(RobustCatalog, DigestsStableAcrossJobsAndReruns) {
+  const auto& reg = scenarios::paper_registry();
+  CampaignOptions options;
+  options.filter = "robust/*";
+  options.seed = 42;
+  options.jobs = 1;
+  const auto serial = run_campaign(reg, options);
+  ASSERT_EQ(serial.outcomes.size(), 10u);
+  for (const auto& o : serial.outcomes) {
+    EXPECT_TRUE(o.ok) << o.name << ": " << o.error;
+    EXPECT_GT(o.trace_events, 0u) << o.name;
+    EXPECT_NE(o.digest, 0u) << o.name;
+  }
+  for (int jobs : {2, 8}) {
+    options.jobs = jobs;
+    const auto parallel = run_campaign(reg, options);
+    ASSERT_EQ(parallel.outcomes.size(), serial.outcomes.size());
+    for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+      EXPECT_EQ(parallel.outcomes[i].name, serial.outcomes[i].name);
+      EXPECT_EQ(parallel.outcomes[i].digest, serial.outcomes[i].digest)
+          << serial.outcomes[i].name << " at jobs=" << jobs;
+      EXPECT_EQ(parallel.outcomes[i].trace_events,
+                serial.outcomes[i].trace_events)
+          << serial.outcomes[i].name << " at jobs=" << jobs;
+      EXPECT_EQ(parallel.outcomes[i].final_time, serial.outcomes[i].final_time)
+          << serial.outcomes[i].name << " at jobs=" << jobs;
+    }
+  }
+  // Rerun at jobs=1: a second process-local run must reproduce every digest.
+  options.jobs = 1;
+  const auto rerun = run_campaign(reg, options);
+  ASSERT_EQ(rerun.outcomes.size(), serial.outcomes.size());
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i)
+    EXPECT_EQ(rerun.outcomes[i].digest, serial.outcomes[i].digest)
+        << serial.outcomes[i].name;
+}
+
+TEST(RobustCatalog, SeedMovesFaultSchedules) {
+  const auto& reg = scenarios::paper_registry();
+  CampaignOptions options;
+  // One fluid-level and one packet-level scenario keep this test fast while
+  // covering both injection paths.
+  options.filter = "robust/flap-pingpong";
+  options.jobs = 1;
+  options.seed = 42;
+  const auto a = run_campaign(reg, options);
+  options.seed = 7;
+  const auto b = run_campaign(reg, options);
+  ASSERT_EQ(a.outcomes.size(), 1u);
+  ASSERT_EQ(b.outcomes.size(), 1u);
+  EXPECT_TRUE(a.outcomes[0].ok) << a.outcomes[0].error;
+  EXPECT_TRUE(b.outcomes[0].ok) << b.outcomes[0].error;
+  EXPECT_NE(a.outcomes[0].digest, b.outcomes[0].digest);
+
+  options.filter = "robust/packet-loss";
+  options.seed = 42;
+  const auto c = run_campaign(reg, options);
+  options.seed = 7;
+  const auto d = run_campaign(reg, options);
+  ASSERT_EQ(c.outcomes.size(), 1u);
+  ASSERT_EQ(d.outcomes.size(), 1u);
+  EXPECT_TRUE(c.outcomes[0].ok) << c.outcomes[0].error;
+  EXPECT_TRUE(d.outcomes[0].ok) << d.outcomes[0].error;
+  EXPECT_NE(c.outcomes[0].digest, d.outcomes[0].digest);
 }
 
 }  // namespace

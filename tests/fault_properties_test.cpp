@@ -1,0 +1,235 @@
+// Property-based robustness suite for the simfault subsystem (stress label).
+//
+// Instead of hand-picked fault scenarios, these tests draw dozens of random
+// fault schedules from seeded Rngs and assert properties every schedule must
+// satisfy:
+//
+//  * no stuck simulation — every run drains within a generous virtual-time
+//    watchdog, whatever the injectors did to the links;
+//  * completion once faults clear — every message of a 2-rank echo workload
+//    is delivered under all four implementation profiles (byte conservation
+//    inside TcpChannel is enforced by its always-on GRIDSIM_CHECKs, which
+//    abort the binary on violation);
+//  * determinism — the same seed reproduces the same per-message completion
+//    times, and the packet-level loss models reproduce identical transfers;
+//  * loss only delays — a lossy packet-level transfer never finishes before
+//    the loss-free baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "profiles/profiles.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
+#include "simfault/injector.hpp"
+#include "simtcp/packet_sim.hpp"
+#include "topology/grid5000.hpp"
+
+namespace gridsim {
+namespace {
+
+using profiles::TuningLevel;
+
+// A fault-collapsed flow crawls and recovers on stall backoff; 600 virtual
+// seconds is two orders of magnitude beyond the slowest legitimate finish
+// for this workload, so hitting the watchdog means the simulation wedged.
+constexpr SimTime kWatchdog = seconds(600);
+
+/// Random but bounded fault plan: every horizon is finite so a run can
+/// always terminate; roughly half the knobs stay off in any given draw so
+/// the suite also covers partial plans and the all-quiet case.
+simfault::FaultPlan random_plan(std::uint64_t seed) {
+  Rng rng(seed * 6364136223846793005ull + 1442695040888963407ull);
+  simfault::FaultPlan plan;
+  plan.seed = seed * 1009 + 17;
+  if (rng.uniform() < 0.5) {
+    plan.jitter.amplitude = rng.uniform(0.05, 0.4);
+    plan.jitter.period = milliseconds(rng.uniform_int(20, 80));
+    plan.jitter.stop_after = seconds(5);
+  }
+  if (rng.uniform() < 0.5) {
+    plan.flap.down_at = milliseconds(rng.uniform_int(0, 2000));
+    plan.flap.down_for = milliseconds(rng.uniform_int(50, 1500));
+    plan.flap.repeats = static_cast<int>(rng.uniform_int(1, 3));
+    plan.flap.repeat_every =
+        plan.flap.down_for + milliseconds(rng.uniform_int(500, 2000));
+  }
+  if (rng.uniform() < 0.5) {
+    plan.loss_episodes.rate_per_s = rng.uniform(0.5, 4.0);
+    plan.loss_episodes.duration = milliseconds(rng.uniform_int(10, 60));
+    plan.loss_episodes.stop_after = seconds(5);
+  }
+  plan.cross.flows = static_cast<int>(rng.uniform_int(0, 3));
+  plan.cross.stop_after = seconds(3);
+  return plan;
+}
+
+/// Echo message sizes for one schedule: 8 messages of 128-200 kB, so each
+/// run straddles the eager/rendez-vous switch region and several fault
+/// episodes without getting expensive.
+std::vector<double> random_sizes(std::uint64_t seed) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<double> sizes;
+  for (int i = 0; i < 8; ++i)
+    sizes.push_back(static_cast<double>(rng.uniform_int(128'000, 200'000)));
+  return sizes;
+}
+
+struct EchoOutcome {
+  int delivered = 0;              ///< round trips completed at rank 0
+  std::vector<SimTime> completions;
+  SimTime finished_at = 0;        ///< last delivery
+  int live_processes = 0;         ///< coroutines still suspended at watchdog
+  int degraded_events = 0;        ///< TCP stall/retry events surfaced by mpi
+};
+
+Task<void> echo_ping(mpi::Rank& r, const std::vector<double>* sizes,
+                     std::vector<SimTime>* completions) {
+  for (double s : *sizes) {
+    co_await r.send(1, s, 0);
+    (void)co_await r.recv(1, 0);
+    completions->push_back(r.sim().now());
+  }
+}
+
+Task<void> echo_pong(mpi::Rank& r, const std::vector<double>* sizes) {
+  for (double s : *sizes) {
+    (void)co_await r.recv(0, 0);
+    co_await r.send(0, s, 0);
+  }
+}
+
+/// Runs the 2-rank echo across the Rennes--Nancy WAN under `plan`.
+EchoOutcome run_echo(const mpi::ImplProfile& impl,
+                     const simfault::FaultPlan& plan,
+                     const std::vector<double>& sizes) {
+  Simulation sim;
+  topo::Grid grid(sim, topo::GridSpec::rennes_nancy(2));
+  auto faults = topo::install_faults(grid, plan);
+  const profiles::ExperimentConfig cfg =
+      profiles::experiment(impl).tuning(TuningLevel::kFullyTuned);
+  mpi::Job job(grid, {grid.node(0, 0), grid.node(1, 0)}, cfg.profile,
+               cfg.kernel);
+  EchoOutcome out;
+  sim.spawn(echo_ping(job.rank(0), &sizes, &out.completions));
+  sim.spawn(echo_pong(job.rank(1), &sizes));
+  // The queue may legitimately hold clamped completion-check events past the
+  // last delivery, so "done" is judged on coroutines and deliveries, not on
+  // queue emptiness.
+  sim.run_until(kWatchdog);
+  out.delivered = static_cast<int>(out.completions.size());
+  out.finished_at = out.completions.empty() ? 0 : out.completions.back();
+  out.live_processes = sim.live_processes();
+  out.degraded_events = job.degraded_progress_events();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// 64 random schedules x all four implementation profiles.
+// ---------------------------------------------------------------------------
+
+TEST(FaultProperties, RandomSchedulesNeverWedgeAnyImplementation) {
+  const auto impls = profiles::all_implementations();
+  ASSERT_EQ(impls.size(), 4u);
+  int active_plans = 0;
+  long long degraded_total = 0;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const auto plan = random_plan(seed);
+    const auto sizes = random_sizes(seed);
+    if (plan.active()) ++active_plans;
+    for (const auto& impl : impls) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " impl=" + impl.name);
+      const auto out = run_echo(impl, plan, sizes);
+      // Progress watchdog: every coroutine ran to completion ...
+      EXPECT_EQ(out.live_processes, 0);
+      // ... and every message was delivered (completion once faults clear).
+      EXPECT_EQ(out.delivered, static_cast<int>(sizes.size()));
+      EXPECT_GT(out.finished_at, 0);
+      EXPECT_LT(out.finished_at, kWatchdog);
+      // Deliveries are causally ordered.
+      for (std::size_t i = 1; i < out.completions.size(); ++i)
+        EXPECT_LT(out.completions[i - 1], out.completions[i]);
+      EXPECT_GE(out.degraded_events, 0);
+      degraded_total += out.degraded_events;
+    }
+  }
+  // Guard against vacuity: the draw really does inject faults most of the
+  // time, and the flaps are harsh enough that the TCP stall path fires at
+  // least somewhere across the suite.
+  EXPECT_GE(active_plans, 48);
+  EXPECT_GT(degraded_total, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Same seed, same schedule: per-message completion times reproduce exactly.
+// ---------------------------------------------------------------------------
+
+TEST(FaultProperties, SameSeedReproducesCompletionTimes) {
+  const auto impls = profiles::all_implementations();
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto& impl = impls[seed % impls.size()];
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " impl=" + impl.name);
+    const auto plan = random_plan(seed);
+    const auto sizes = random_sizes(seed);
+    const auto a = run_echo(impl, plan, sizes);
+    const auto b = run_echo(impl, plan, sizes);
+    EXPECT_EQ(a.completions, b.completions);
+    EXPECT_EQ(a.degraded_events, b.degraded_events);
+  }
+  // And a different seed moves at least one schedule's outcome.
+  const auto base = run_echo(impls[0], random_plan(100), random_sizes(100));
+  const auto moved = run_echo(impls[0], random_plan(101), random_sizes(100));
+  EXPECT_NE(base.completions, moved.completions);
+}
+
+// ---------------------------------------------------------------------------
+// Packet-level loss models: 64 random specs, each deterministic, each
+// completing, never faster than the loss-free baseline.
+// ---------------------------------------------------------------------------
+
+TEST(FaultProperties, PacketLossModelsCompleteDeterministically) {
+  constexpr double kBytes = 4e5;
+  tcp::PacketSimConfig clean;
+  const auto baseline = tcp::packet_level_transfer(kBytes, clean);
+  ASSERT_GT(baseline.completion, 0);
+  ASSERT_EQ(baseline.injected_losses, 0);
+
+  const int base_packets = static_cast<int>(std::ceil(kBytes / clean.mss));
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed * 7919 + 3);
+    tcp::PacketSimConfig cfg;
+    if (rng.uniform() < 0.5) {
+      cfg.loss = simfault::PacketLossSpec::iid(rng.uniform(0.0, 0.08),
+                                               seed + 1);
+    } else {
+      cfg.loss = simfault::PacketLossSpec::gilbert_elliott(
+          rng.uniform(0.002, 0.05), rng.uniform(0.1, 0.5),
+          rng.uniform(0.1, 0.5), seed + 1);
+    }
+    const auto a = tcp::packet_level_transfer(kBytes, cfg);
+    // The transfer completed: every byte was acked despite the drops.
+    EXPECT_GT(a.completion, 0);
+    EXPECT_GE(a.packets_sent, base_packets);
+    EXPECT_GE(a.losses, a.injected_losses);
+    // Loss can only delay, never accelerate.
+    EXPECT_GE(a.completion, baseline.completion);
+    if (a.injected_losses == 0) {
+      EXPECT_EQ(a.completion, baseline.completion);
+    }
+    // Same spec, same transfer, field for field.
+    const auto b = tcp::packet_level_transfer(kBytes, cfg);
+    EXPECT_EQ(a.completion, b.completion);
+    EXPECT_EQ(a.packets_sent, b.packets_sent);
+    EXPECT_EQ(a.losses, b.losses);
+    EXPECT_EQ(a.retransmits, b.retransmits);
+    EXPECT_EQ(a.injected_losses, b.injected_losses);
+  }
+}
+
+}  // namespace
+}  // namespace gridsim
