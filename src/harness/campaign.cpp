@@ -6,9 +6,11 @@
 #include <cstdio>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "harness/determinism.hpp"
+#include "simcore/check.hpp"
 #include "simcore/trace.hpp"
 
 namespace gridsim::harness {
@@ -81,23 +83,51 @@ ScenarioOutcome run_one(const ScenarioSpec& spec,
   ctx.seed = options.seed;
   if (options.digests) ctx.hooks = digest_hooks(&state);
 
+  // Watchdog: one deadline for the whole scenario, armed on every
+  // Simulation it constructs. The deadline is checked at event boundaries,
+  // so the engine degrades gracefully — no thread is killed mid-update. A
+  // timed-out run abandons its suspended coroutine frames on purpose,
+  // hence the leak exemption.
+  std::optional<ScopedLeakExemption> leak_exemption;
+  if (options.timeout_s > 0) {
+    leak_exemption.emplace();
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options.timeout_s));
+    const SimHooks inner = ctx.hooks;
+    ctx.hooks.on_start = [inner, deadline](Simulation& sim) {
+      sim.set_wall_deadline(deadline);
+      if (inner.on_start) inner.on_start(sim);
+    };
+    ctx.hooks.on_finish = inner.on_finish;
+  }
+
   const double t0 = now_wall_s();
   try {
     out.result = spec.run(ctx);
     out.ok = true;
+    out.status = "ok";
     for (const std::string& want : spec.expected_metrics) {
       if (!out.result.has_metric(want)) {
         out.ok = false;
+        out.status = "failed";
         out.error = "result violates scenario schema: missing metric '" +
                     want + "'";
         break;
       }
     }
+  } catch (const TimeoutError& e) {
+    out.ok = false;
+    out.status = "timeout";
+    out.error = e.what();
   } catch (const std::exception& e) {
     out.ok = false;
+    out.status = "failed";
     out.error = e.what();
   } catch (...) {
     out.ok = false;
+    out.status = "failed";
     out.error = "unknown exception";
   }
   out.wall_s = now_wall_s() - t0;
@@ -210,13 +240,14 @@ bool write_campaign_json(const std::string& path,
                  "    {\"name\": \"%s\", \"group\": \"%s\", \"ok\": %s, "
                  "\"digest\": \"%016llx\", \"trace_events\": %llu, "
                  "\"simulations\": %llu, \"final_time_ns\": %lld, "
-                 "\"wall_s\": %.6f",
+                 "\"wall_s\": %.6f, \"status\": \"%s\"",
                  json_escape(o.name).c_str(), json_escape(o.group).c_str(),
                  o.ok ? "true" : "false",
                  static_cast<unsigned long long>(o.digest),
                  static_cast<unsigned long long>(o.trace_events),
                  static_cast<unsigned long long>(o.simulations),
-                 static_cast<long long>(o.final_time), o.wall_s);
+                 static_cast<long long>(o.final_time), o.wall_s,
+                 json_escape(o.status).c_str());
     if (!o.ok)
       std::fprintf(f, ", \"error\": \"%s\"", json_escape(o.error).c_str());
     if (!o.result.note.empty())

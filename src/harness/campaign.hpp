@@ -31,6 +31,11 @@ struct CampaignOptions {
   /// without tracing overhead and `digest`/`trace_events` stay zero (the
   /// bench shims use this; the campaign subcommand keeps it on).
   bool digests = true;
+  /// Per-scenario wall-clock watchdog in seconds; 0 = none. A scenario that
+  /// exceeds it is stopped at the next event boundary of whichever
+  /// Simulation it is running (TimeoutError), reported with
+  /// `status == "timeout"`, and the rest of the campaign proceeds.
+  double timeout_s = 0;
 };
 
 /// One scenario's execution record.
@@ -38,6 +43,9 @@ struct ScenarioOutcome {
   std::string name;
   std::string group;
   bool ok = false;
+  /// "ok" | "failed" | "timeout" (the watchdog fired; see
+  /// CampaignOptions::timeout_s). `ok == (status == "ok")`.
+  std::string status = "failed";
   std::string error;         ///< exception text or schema violation
   ScenarioResult result;
   std::uint64_t digest = 0;       ///< streaming trace digest (see above)

@@ -72,6 +72,10 @@ struct ScenarioSpec {
   /// Output schema: metric names the result must contain. The runner fails
   /// the scenario (without aborting the campaign) if one is missing.
   std::vector<std::string> expected_metrics;
+  /// MPI ranks the workload simulates; 0 = not declared. Consumers that
+  /// must bound state-space size (`gridsim mc --ranks-cap`) skip scenarios
+  /// that do not declare a rank count within the cap.
+  int ranks = 0;
   ScenarioFn run;
 };
 

@@ -1,0 +1,25 @@
+#include "mpi/match_arbiter.hpp"
+
+namespace gridsim::mpi {
+
+namespace {
+thread_local MatchArbiter* g_ambient_arbiter = nullptr;
+}  // namespace
+
+std::size_t MatchArbiter::choose(const MatchDecision&) { return 0; }
+
+MatchArbiter& arrival_order_arbiter() {
+  static MatchArbiter arbiter;
+  return arbiter;
+}
+
+MatchArbiter* ambient_arbiter() { return g_ambient_arbiter; }
+
+ScopedArbiter::ScopedArbiter(MatchArbiter* arbiter)
+    : previous_(g_ambient_arbiter) {
+  g_ambient_arbiter = arbiter;
+}
+
+ScopedArbiter::~ScopedArbiter() { g_ambient_arbiter = previous_; }
+
+}  // namespace gridsim::mpi

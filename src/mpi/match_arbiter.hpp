@@ -1,0 +1,83 @@
+// Match-arbiter interface: the MPI engine's only source of nondeterminism.
+//
+// With deterministic per-(src,dst) ordering (non-overtaking is enforced by
+// the reorder buffers in mpi.cpp), the single point where "any legal MPI
+// schedule" can diverge from "the schedule this run happened to produce" is
+// a wildcard receive: a `recv(kAnySource, tag)` may legally match the
+// earliest unconsumed message of *any* source that has one. Arrival order
+// picks one winner; WAN jitter could have picked another.
+//
+// `MatchArbiter` reifies that choice. The default arbiter reproduces
+// today's behavior exactly (wildcards match in arrival order, decided at
+// arrival/post time), so the engine's pinned trace digests are unchanged.
+// The model-checker (src/simmc) installs a deferring arbiter: wildcard
+// receives park until the simulation is quiescent, at which point the full
+// candidate set (one message per source, each forced to its earliest
+// in-order message) is known, and `choose` selects the winner — the
+// branch point the DPOR-lite exploration backtracks over.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gridsim::mpi {
+
+/// One matchable message for a pending wildcard receive. At most one
+/// candidate per source rank: non-overtaking forces each source's earliest
+/// matching message, so later messages of the same source are never
+/// co-enabled with it.
+struct MatchCandidate {
+  int src_rank = -1;
+  int tag = 0;
+  double bytes = 0;
+  std::uint64_t order = 0;  ///< per-(src,dst) match-order stamp
+};
+
+/// A wildcard receive whose match is being decided, with every co-enabled
+/// candidate in arrival order (index 0 = what arrival order would pick).
+struct MatchDecision {
+  int dst_rank = -1;   ///< rank owning the receive
+  int recv_seq = -1;   ///< per-rank wildcard posting index (stable site id)
+  int want_tag = -1;   ///< the receive's tag (kAnyTag = -1)
+  std::vector<MatchCandidate> candidates;
+};
+
+class MatchArbiter {
+ public:
+  virtual ~MatchArbiter() = default;
+
+  /// True: wildcard receives never match eagerly; they park until the
+  /// engine is quiescent and are resolved one at a time through choose().
+  /// False (default): arrival-order matching, decided immediately.
+  virtual bool defer_wildcards() const { return false; }
+
+  /// Index into decision.candidates of the message to match. Only called
+  /// when defer_wildcards() is true and at least one candidate exists.
+  virtual std::size_t choose(const MatchDecision& decision);
+};
+
+/// The default arbiter: today's arrival-order behavior (a singleton; every
+/// Job without an ambient arbiter shares it).
+MatchArbiter& arrival_order_arbiter();
+
+/// The arbiter Jobs constructed on this thread will adopt (nullptr = the
+/// default). Thread-local so campaign worker threads stay isolated.
+MatchArbiter* ambient_arbiter();
+
+/// Installs `arbiter` as this thread's ambient arbiter for the guard's
+/// lifetime (restores the previous one on destruction). The model-checker
+/// wraps each scenario execution in one of these; the Job(s) the scenario
+/// constructs internally pick it up without any signature change.
+class ScopedArbiter {
+ public:
+  explicit ScopedArbiter(MatchArbiter* arbiter);
+  ~ScopedArbiter();
+  ScopedArbiter(const ScopedArbiter&) = delete;
+  ScopedArbiter& operator=(const ScopedArbiter&) = delete;
+
+ private:
+  MatchArbiter* previous_;
+};
+
+}  // namespace gridsim::mpi

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "simcore/check.hpp"
 
@@ -100,20 +101,45 @@ Task<RecvInfo> Rank::recv(int src, int tag) {
                 "Rank::recv: bad source rank %d (job size %d)", src, size());
   GRIDSIM_CHECK(tag == kAnyTag || tag >= 0, "Rank::recv: bad tag %d", tag);
   const ImplProfile& p = job_->profile();
+  const bool defer_mode = job_->arbiter().defer_wildcards();
   MsgMeta meta;
   bool unexpected = false;
 
-  // Try the arrived (unexpected) queue first, in arrival order.
-  auto it = std::find_if(arrived_.begin(), arrived_.end(),
-                         [&](const MsgMeta& m) { return matches(src, tag, m); });
-  if (it != arrived_.end()) {
-    meta = *it;
-    arrived_.erase(it);
+  if (defer_mode && src == kAnySource) {
+    // Deferred wildcard matching (model checker): park unconditionally.
+    // The candidate set is computed at quiescence — when every in-flight
+    // message has landed — so the arbiter sees every co-enabled choice,
+    // not just whatever happened to have arrived by now. The match always
+    // routes through the unexpected queue, hence the buffered-copy cost.
+    Trigger done(sim());
+    posted_.push_back(Posted{src, tag, &done, &meta, wildcard_seq_++});
+    co_await done.wait();
     unexpected = true;
   } else {
-    Trigger done(sim());
-    posted_.push_back(Posted{src, tag, &done, &meta});
-    co_await done.wait();
+    // Try the arrived (unexpected) queue first, in arrival order.
+    auto it = std::find_if(
+        arrived_.begin(), arrived_.end(), [&](const MsgMeta& m) {
+          if (!matches(src, tag, m)) return false;
+          if (defer_mode) {
+            // Posted-order matching: a message also claimed by an
+            // earlier-posted parked wildcard belongs to that wildcard;
+            // this later receive must not steal it before the arbiter
+            // decides.
+            for (const Posted& pr : posted_)
+              if (pr.src == kAnySource && matches(pr.src, pr.tag, m))
+                return false;
+          }
+          return true;
+        });
+    if (it != arrived_.end()) {
+      meta = *it;
+      arrived_.erase(it);
+      unexpected = true;
+    } else {
+      Trigger done(sim());
+      posted_.push_back(Posted{src, tag, &done, &meta});
+      co_await done.wait();
+    }
   }
 
   if (meta.kind == MsgKind::kEager) {
@@ -197,7 +223,13 @@ void Rank::deliver_in_order(const MsgMeta& meta) {
   auto it = std::find_if(
       posted_.begin(), posted_.end(),
       [&](const Posted& pr) { return matches(pr.src, pr.tag, meta); });
-  if (it != posted_.end()) {
+  // Under deferred matching, a message whose first matching receive (in
+  // posted order) is a parked wildcard must wait in the unexpected queue:
+  // handing it to a later-posted specific receive would violate MPI's
+  // posted-order matching, and consuming it here would decide the race
+  // before the arbiter does.
+  if (it != posted_.end() &&
+      !(it->src == kAnySource && job_->arbiter().defer_wildcards())) {
     *it->slot = meta;
     Trigger* done = it->done;
     posted_.erase(it);
@@ -217,6 +249,108 @@ void Rank::deliver_in_order(const MsgMeta& meta) {
       ++pb;
     }
   }
+}
+
+bool Rank::mc_resolve_one(MatchArbiter& arbiter) {
+  // Oldest-posted wildcard with at least one candidate resolves first —
+  // the same precedence posted-order matching gives it in a real run.
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (it->src != kAnySource) continue;
+    MatchDecision decision;
+    decision.dst_rank = rank_;
+    decision.recv_seq = it->wseq;
+    decision.want_tag = it->tag;
+    std::vector<std::size_t> positions;
+    for (std::size_t i = 0; i < arrived_.size(); ++i) {
+      const MsgMeta& m = arrived_[i];
+      if (!matches(kAnySource, it->tag, m)) continue;
+      bool seen = false;
+      for (const MatchCandidate& c : decision.candidates)
+        if (c.src_rank == m.src_rank) {
+          seen = true;
+          break;
+        }
+      // Non-overtaking: only each source's earliest matching message is
+      // co-enabled; later ones can never legally match before it.
+      if (seen) continue;
+      decision.candidates.push_back(
+          MatchCandidate{m.src_rank, m.tag, m.bytes, m.order});
+      positions.push_back(i);
+    }
+    if (decision.candidates.empty()) continue;
+    const std::size_t pick = arbiter.choose(decision);
+    GRIDSIM_CHECK(pick < decision.candidates.size(),
+                  "rank %d: arbiter chose candidate %zu of only %zu", rank_,
+                  pick, decision.candidates.size());
+    const MsgMeta meta = arrived_[positions[pick]];
+    arrived_.erase(arrived_.begin() +
+                   static_cast<std::ptrdiff_t>(positions[pick]));
+    *it->slot = meta;
+    Trigger* done = it->done;
+    posted_.erase(it);
+    done->fire();
+    mc_rematch();
+    return true;
+  }
+  return false;
+}
+
+void Rank::mc_rematch() {
+  // Messages parked behind the just-resolved wildcard may now belong to
+  // later-posted specific receives; deliver them in arrival order until a
+  // fixpoint. Parked wildcards keep deferring to the idle hook.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < arrived_.size(); ++i) {
+      const MsgMeta meta = arrived_[i];
+      auto it = std::find_if(
+          posted_.begin(), posted_.end(),
+          [&](const Posted& pr) { return matches(pr.src, pr.tag, meta); });
+      if (it == posted_.end() || it->src == kAnySource) continue;
+      arrived_.erase(arrived_.begin() + static_cast<std::ptrdiff_t>(i));
+      *it->slot = meta;
+      Trigger* done = it->done;
+      posted_.erase(it);
+      done->fire();
+      progress = true;
+      break;
+    }
+  }
+}
+
+void Rank::report_blocked(std::vector<std::string>* out) const {
+  const auto src_str = [](int src) {
+    return src == kAnySource ? std::string("*") : std::to_string(src);
+  };
+  const auto tag_str = [](int tag) {
+    return tag == kAnyTag ? std::string("*") : std::to_string(tag);
+  };
+  for (const Posted& pr : posted_)
+    out->push_back("rank " + std::to_string(rank_) + ": recv(src=" +
+                   src_str(pr.src) + ", tag=" + tag_str(pr.tag) +
+                   ") blocked; " + std::to_string(arrived_.size()) +
+                   " unexpected message(s) queued");
+  for (const Prober& pb : probers_)
+    out->push_back("rank " + std::to_string(rank_) + ": probe(src=" +
+                   src_str(pb.src) + ", tag=" + tag_str(pb.tag) +
+                   ") blocked");
+  // The rendez-vous maps are unordered; emit in seq order so a deadlock
+  // report (and any witness built from it) is reproducible.
+  std::vector<std::uint64_t> seqs;
+  for (const auto& [seq, waiter] : cts_waiters_) seqs.push_back(seq);
+  std::sort(seqs.begin(), seqs.end());
+  for (const std::uint64_t seq : seqs)
+    out->push_back("rank " + std::to_string(rank_) +
+                   ": rendez-vous send awaiting CTS (seq " +
+                   std::to_string(seq) + ")");
+  seqs.clear();
+  for (const auto& [seq, waiter] : data_waiters_) seqs.push_back(seq);
+  std::sort(seqs.begin(), seqs.end());
+  for (const std::uint64_t seq : seqs)
+    out->push_back("rank " + std::to_string(rank_) +
+                   ": rendez-vous receive awaiting payload (seq " +
+                   std::to_string(seq) + ")");
 }
 
 Task<RecvInfo> Rank::probe(int src, int tag) {
@@ -326,12 +460,34 @@ Job::Job(topo::Grid& grid, std::vector<net::HostId> placement,
     : grid_(&grid),
       profile_(std::move(profile)),
       kernel_(kernel),
-      tcp_params_(tcp_params) {
+      tcp_params_(tcp_params),
+      arbiter_(ambient_arbiter() != nullptr ? ambient_arbiter()
+                                            : &arrival_order_arbiter()) {
   if (placement.empty()) throw std::invalid_argument("empty placement");
   int r = 0;
   for (net::HostId h : placement) {
     ranks_.push_back(std::unique_ptr<Rank>(new Rank(*this, r++, h)));
   }
+  idle_hook_id_ = sim().add_idle_hook([this] { return mc_resolve_one(); });
+  blocked_reporter_id_ = sim().add_blocked_reporter(
+      [this](std::vector<std::string>* out) { report_blocked(out); });
+}
+
+Job::~Job() {
+  Simulation& s = sim();
+  s.remove_idle_hook(idle_hook_id_);
+  s.remove_blocked_reporter(blocked_reporter_id_);
+}
+
+bool Job::mc_resolve_one() {
+  if (!arbiter_->defer_wildcards()) return false;
+  for (auto& r : ranks_)
+    if (r->mc_resolve_one(*arbiter_)) return true;
+  return false;
+}
+
+void Job::report_blocked(std::vector<std::string>* out) const {
+  for (const auto& r : ranks_) r->report_blocked(out);
 }
 
 Task<void> Job::run_rank(std::function<Task<void>(Rank&)> main, Rank* rank) {

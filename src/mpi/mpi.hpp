@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mpi/match_arbiter.hpp"
 #include "mpi/message.hpp"
 #include "mpi/profile.hpp"
 #include "simcore/simulation.hpp"
@@ -135,13 +136,23 @@ class Rank {
     int tag;
     Trigger* done;
     MsgMeta* slot;
+    int wseq = -1;  ///< wildcard posting index (>= 0 only under deferral)
   };
   using Prober = Posted;  ///< same shape; never consumes the message
+
+  // Deferred-matching engine (active only when the Job's arbiter defers
+  // wildcards; see match_arbiter.hpp). Called from the Job's idle hook.
+  bool mc_resolve_one(MatchArbiter& arbiter);
+  /// After an arbitrated match consumed a parked wildcard, messages that
+  /// were held behind it may now belong to later-posted specific receives.
+  void mc_rematch();
+  void report_blocked(std::vector<std::string>* out) const;
 
   Job* job_;
   int rank_;
   net::HostId host_;
   int coll_seq_ = 0;
+  int wildcard_seq_ = 0;  ///< wildcard receives posted so far (site ids)
 
   std::deque<MsgMeta> arrived_;  // unexpected eager payloads + unmatched RTS
   std::deque<Posted> posted_;
@@ -167,8 +178,13 @@ class Job {
   Job(topo::Grid& grid, std::vector<net::HostId> placement,
       ImplProfile profile, tcp::KernelTunables kernel,
       tcp::TcpModelParams tcp_params = {});
+  ~Job();
   Job(const Job&) = delete;
   Job& operator=(const Job&) = delete;
+
+  /// The match arbiter in effect (the thread's ambient arbiter at
+  /// construction time, or the shared arrival-order default).
+  MatchArbiter& arbiter() { return *arbiter_; }
 
   int size() const { return static_cast<int>(ranks_.size()); }
   Rank& rank(int r) { return *ranks_.at(static_cast<size_t>(r)); }
@@ -223,11 +239,18 @@ class Job {
  private:
   static Task<void> run_rank(std::function<Task<void>(Rank&)> main,
                              Rank* rank);
+  /// Idle hook: resolves one parked wildcard receive through the arbiter
+  /// (deferred matching only). Returns true if a match was made.
+  bool mc_resolve_one();
+  void report_blocked(std::vector<std::string>* out) const;
 
   topo::Grid* grid_;
   ImplProfile profile_;
   tcp::KernelTunables kernel_;
   tcp::TcpModelParams tcp_params_;
+  MatchArbiter* arbiter_;
+  std::uint64_t idle_hook_id_ = 0;
+  std::uint64_t blocked_reporter_id_ = 0;
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::map<std::pair<int, int>, std::unique_ptr<tcp::TcpChannel>> channels_;
   TrafficStats traffic_;

@@ -42,6 +42,7 @@ const harness::ScenarioRegistry& paper_registry() {
     detail::register_nas_catalog(reg);
     detail::register_apps_catalog(reg);
     detail::register_robust_catalog(reg);
+    detail::register_mc_catalog(reg);
     return reg;
   }();
   return registry;

@@ -34,6 +34,12 @@ void register_apps_catalog(harness::ScenarioRegistry& reg);
 /// packet-level loss models (simfault).
 void register_robust_catalog(harness::ScenarioRegistry& reg);
 
+/// Model-checking targets for `gridsim mc`: small-rank wildcard-racing
+/// workloads with interleaving-invariant metrics, plus a seeded deadlock
+/// fixture. Also runnable (and digest-pinned) under the default
+/// arrival-order arbiter like any other scenario.
+void register_mc_catalog(harness::ScenarioRegistry& reg);
+
 /// TCP baseline + the four implementations, in the paper's order.
 std::vector<mpi::ImplProfile> profiles_with_tcp();
 

@@ -1,7 +1,9 @@
 #include "simcore/simulation.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace gridsim {
 
@@ -62,12 +64,20 @@ void Simulation::spawn(Task<void> task) {
 }
 
 SimTime Simulation::run() {
-  while (!queue_.empty()) {
-    now_ = queue_.next_time();
-    queue_.run_next();
-    ++events_processed_;
+  for (;;) {
+    while (!queue_.empty()) {
+      now_ = queue_.next_time();
+      queue_.run_next();
+      ++events_processed_;
+      maybe_check_wall_deadline();
+    }
+    if (live_processes_ == 0) return now_;
+    // Quiescent with suspended processes: no queued event can ever resume
+    // them. Idle hooks (the model-checker's deferred wildcard matching) get
+    // one chance to schedule new work; otherwise this is a deadlock.
+    if (wall_deadline_armed_) check_wall_deadline();
+    if (!resolve_idle()) throw_deadlock();
   }
-  return now_;
 }
 
 bool Simulation::run_until(SimTime t) {
@@ -75,9 +85,66 @@ bool Simulation::run_until(SimTime t) {
     now_ = queue_.next_time();
     queue_.run_next();
     ++events_processed_;
+    maybe_check_wall_deadline();
   }
   now_ = t;
   return !queue_.empty();
+}
+
+std::uint64_t Simulation::add_idle_hook(IdleHook hook) {
+  const std::uint64_t id = next_hook_id_++;
+  idle_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Simulation::remove_idle_hook(std::uint64_t id) {
+  idle_hooks_.erase(
+      std::remove_if(idle_hooks_.begin(), idle_hooks_.end(),
+                     [id](const auto& entry) { return entry.first == id; }),
+      idle_hooks_.end());
+}
+
+std::uint64_t Simulation::add_blocked_reporter(BlockedReporter reporter) {
+  const std::uint64_t id = next_hook_id_++;
+  blocked_reporters_.emplace_back(id, std::move(reporter));
+  return id;
+}
+
+void Simulation::remove_blocked_reporter(std::uint64_t id) {
+  blocked_reporters_.erase(
+      std::remove_if(blocked_reporters_.begin(), blocked_reporters_.end(),
+                     [id](const auto& entry) { return entry.first == id; }),
+      blocked_reporters_.end());
+}
+
+bool Simulation::resolve_idle() {
+  for (auto& [id, hook] : idle_hooks_) {
+    if (hook()) return true;
+  }
+  return false;
+}
+
+void Simulation::throw_deadlock() {
+  std::vector<std::string> blocked;
+  for (auto& [id, reporter] : blocked_reporters_) reporter(&blocked);
+  std::string what = "deadlock: event queue drained with " +
+                     std::to_string(live_processes_) +
+                     " live process(es) at t=" + std::to_string(now_) + " ns";
+  if (blocked.empty()) {
+    what += " (no blocked-state reporters registered)";
+  } else {
+    for (const std::string& line : blocked) what += "\n  " + line;
+  }
+  throw DeadlockError(what, std::move(blocked));
+}
+
+void Simulation::check_wall_deadline() {
+  if (std::chrono::steady_clock::now() < wall_deadline_) return;
+  wall_deadline_armed_ = false;  // throw once, not from every later check
+  throw TimeoutError("wall-clock budget exceeded at virtual time " +
+                     std::to_string(now_) + " ns (" +
+                     std::to_string(events_processed_) +
+                     " events processed)");
 }
 
 }  // namespace gridsim

@@ -6,10 +6,14 @@
 // function of its inputs.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "simcore/callback.hpp"
 #include "simcore/check.hpp"
@@ -19,6 +23,31 @@
 #include "simcore/trace.hpp"
 
 namespace gridsim {
+
+/// Thrown by Simulation::run() when the event queue drains while spawned
+/// processes are still suspended and no idle hook can make progress: no
+/// future event exists that could ever resume them, so the simulation has
+/// deadlocked. `blocked()` carries one line per blocked operation, collected
+/// from registered blocked-state reporters (the MPI engine names the rank,
+/// source and tag of every pending receive).
+class DeadlockError : public std::runtime_error {
+ public:
+  DeadlockError(const std::string& what, std::vector<std::string> blocked)
+      : std::runtime_error(what), blocked_(std::move(blocked)) {}
+  const std::vector<std::string>& blocked() const { return blocked_; }
+
+ private:
+  std::vector<std::string> blocked_;
+};
+
+/// Thrown from inside the event loop when a wall-clock deadline set via
+/// `set_wall_deadline` expires. The campaign runner's per-scenario watchdog
+/// (`gridsim campaign --timeout-s N`) catches it and reports the scenario
+/// as timed out instead of stalling the whole campaign.
+class TimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Simulation {
  public:
@@ -49,12 +78,45 @@ class Simulation {
   /// reaches the current timestamp; it is destroyed when it completes.
   void spawn(Task<void> task);
 
-  /// Runs until the event queue is empty. Returns the final virtual time.
+  /// Runs until every spawned process has completed (or no process was ever
+  /// spawned and the queue drains). Returns the final virtual time.
+  ///
+  /// If the queue drains while processes are still suspended, registered
+  /// idle hooks run in registration order; a hook returning true claims to
+  /// have made progress (typically by firing a trigger) and the loop
+  /// resumes. If no hook makes progress the run has deadlocked and a
+  /// DeadlockError is thrown instead of returning with the wedge hidden.
   SimTime run();
 
   /// Runs events with timestamp <= t, then sets now() = t.
-  /// Returns true if the queue still has pending events.
+  /// Returns true if the queue still has pending events. Unlike run(),
+  /// never throws DeadlockError: callers use the returned horizon as their
+  /// own watchdog (see tests/fault_properties_test.cpp).
   bool run_until(SimTime t);
+
+  /// Registers a quiescence hook consulted by run() when the queue drains
+  /// with live processes. Returns an id for remove_idle_hook. The hook must
+  /// return true only if it scheduled new work (the model-checker's
+  /// deferred wildcard matching resolves one receive per invocation).
+  using IdleHook = std::function<bool()>;
+  std::uint64_t add_idle_hook(IdleHook hook);
+  void remove_idle_hook(std::uint64_t id);
+
+  /// Registers a reporter that appends one human-readable line per blocked
+  /// operation when a deadlock is diagnosed. Returns an id for
+  /// remove_blocked_reporter.
+  using BlockedReporter = std::function<void(std::vector<std::string>*)>;
+  std::uint64_t add_blocked_reporter(BlockedReporter reporter);
+  void remove_blocked_reporter(std::uint64_t id);
+
+  /// Arms a wall-clock watchdog: once `deadline` passes, the event loop
+  /// throws TimeoutError at the next check (every few thousand events, so
+  /// the overhead on the hot path is a predicted-not-taken branch).
+  void set_wall_deadline(std::chrono::steady_clock::time_point deadline) {
+    wall_deadline_ = deadline;
+    wall_deadline_armed_ = true;
+  }
+  void clear_wall_deadline() { wall_deadline_armed_ = false; }
 
   /// Number of processes spawned and not yet completed.
   int live_processes() const { return live_processes_; }
@@ -89,11 +151,26 @@ class Simulation {
   static Task<void> drive(Simulation& sim, std::shared_ptr<SpawnState> state);
   static CheckContext check_context_of(const void* self);
 
+  bool resolve_idle();
+  [[noreturn]] void throw_deadlock();
+  void check_wall_deadline();
+  void maybe_check_wall_deadline() {
+    if (wall_deadline_armed_ && (events_processed_ & 0x3FFFu) == 0)
+        [[unlikely]] {
+      check_wall_deadline();
+    }
+  }
+
   SimTime now_ = 0;
   EventQueue queue_;
   int live_processes_ = 0;
   std::uint64_t events_processed_ = 0;
   Tracer tracer_;
+  std::vector<std::pair<std::uint64_t, IdleHook>> idle_hooks_;
+  std::vector<std::pair<std::uint64_t, BlockedReporter>> blocked_reporters_;
+  std::uint64_t next_hook_id_ = 1;
+  bool wall_deadline_armed_ = false;
+  std::chrono::steady_clock::time_point wall_deadline_{};
 };
 
 /// Optional observation hooks for harness-owned simulations. Scenario

@@ -12,7 +12,10 @@
 //                     [--expect HEXDIGEST]
 //   gridsim bench     [--quick] [--out DIR] [--reps N]
 //   gridsim campaign  [--filter GLOB] [--jobs N] [--out DIR] [--seed N]
-//                     [--render] [--list]
+//                     [--timeout-s N] [--render] [--list]
+//   gridsim mc        [--scenario GLOB] [--max-execs N] [--ranks-cap K]
+//                     [--seed N] [--out DIR] [--list]
+//   gridsim replay    --witness FILE [--reps N]
 //
 // Every subcommand parses its flags through the typed OptionParser
 // (tools/cli.hpp): declared options with defaults, `--key=value`, strict
@@ -32,6 +35,16 @@
 // writes one consolidated CAMPAIGN.json report (schema "gridsim-campaign/1",
 // documented in docs/usage.md). Per-scenario digests are independent of
 // --jobs: `--jobs 8` must equal `--jobs 1` byte for byte, which CI checks.
+// --timeout-s arms a per-scenario wall-clock watchdog: a scenario that
+// exceeds it is reported with "status": "timeout" and the campaign exits
+// non-zero without aborting the remaining scenarios.
+//
+// `mc` is the DPOR-lite ordering model-checker (simmc/mc.hpp,
+// docs/model-checking.md): it re-executes each matched scenario under every
+// legal wildcard matching order (up to --max-execs) and asserts no
+// interleaving deadlocks or changes the scenario's result digest. A found
+// deadlock is minimized and written as a witness file that `replay`
+// reproduces deterministically. Writes MC.json (schema "gridsim-mc/1").
 //
 // Implementations: TCP, MPICH2, GridMPI, MPICH-Madeleine, OpenMPI,
 // MPICH-G2.
@@ -54,6 +67,7 @@
 #include "harness/report.hpp"
 #include "profiles/profiles.hpp"
 #include "scenarios/catalog.hpp"
+#include "simmc/mc.hpp"
 #include "tools/cli.hpp"
 
 namespace {
@@ -397,6 +411,7 @@ int cmd_campaign(int argc, char** argv) {
   std::string filter = "*", out_dir = ".";
   int jobs = 0;
   std::uint64_t seed = 1;
+  double timeout_s = 0;
   bool render = false, list = false;
   OptionParser parser(
       "campaign",
@@ -407,6 +422,8 @@ int cmd_campaign(int argc, char** argv) {
       .int_opt("jobs", &jobs, "worker threads; 0 = hardware concurrency")
       .string_opt("out", &out_dir, "output directory for CAMPAIGN.json")
       .u64_opt("seed", &seed, "seed folded into every scenario digest")
+      .real_opt("timeout-s", &timeout_s,
+                "per-scenario wall-clock watchdog in seconds; 0 = none")
       .flag("render", &render, "print each group's figure/table after the run")
       .flag("list", &list, "list matching scenarios and exit");
   int status = 0;
@@ -431,6 +448,7 @@ int cmd_campaign(int argc, char** argv) {
   options.filter = filter;
   options.jobs = jobs;
   options.seed = seed;
+  options.timeout_s = timeout_s;
   const std::size_t total = selected.size();
   std::size_t done = 0;
   // The campaign runner serializes progress callbacks, so the counter and
@@ -441,8 +459,8 @@ int cmd_campaign(int argc, char** argv) {
       std::printf("[%3zu/%zu] %-40s ok    digest=%016" PRIx64 " %.2fs\n",
                   done, total, o.name.c_str(), o.digest, o.wall_s);
     } else {
-      std::printf("[%3zu/%zu] %-40s FAIL  %s\n", done, total, o.name.c_str(),
-                  o.error.c_str());
+      std::printf("[%3zu/%zu] %-40s %s  %s\n", done, total, o.name.c_str(),
+                  o.status == "timeout" ? "TIMEOUT" : "FAIL", o.error.c_str());
     }
     std::fflush(stdout);
   };
@@ -474,6 +492,175 @@ int cmd_campaign(int argc, char** argv) {
   return report.failures() == 0 ? 0 : 1;
 }
 
+int cmd_mc(int argc, char** argv) {
+  std::string filter = "mc/*", out_dir = ".";
+  int max_execs = 64, ranks_cap = 8, minimize_budget = 32;
+  std::uint64_t seed = 1;
+  bool list = false;
+  OptionParser parser(
+      "mc",
+      "DPOR-lite ordering model-checker: explore every legal wildcard\n"
+      "matching order of each matched scenario; assert no interleaving\n"
+      "deadlocks or changes the result digest. Writes MC.json and, for a\n"
+      "found deadlock, a minimized witness file for `gridsim replay`.");
+  parser.string_opt("scenario", &filter,
+                    "glob over scenario names and groups (default 'mc/*')")
+      .int_opt("max-execs", &max_execs, "execution budget per scenario")
+      .int_opt("ranks-cap", &ranks_cap,
+               "skip scenarios with more (or undeclared) ranks")
+      .int_opt("minimize-budget", &minimize_budget,
+               "extra executions allowed for witness minimization")
+      .u64_opt("seed", &seed, "scenario seed used for every execution")
+      .string_opt("out", &out_dir,
+                  "output directory for MC.json and witness files")
+      .flag("list", &list, "list matching scenarios and exit");
+  int status = 0;
+  if (!parse_or_exit(parser, argc, argv, &status)) return status;
+
+  const auto& registry = scenarios::paper_registry();
+  const auto selected = registry.match(filter);
+  if (selected.empty()) {
+    std::fprintf(stderr, "no scenario matches '%s'\n", filter.c_str());
+    return 2;
+  }
+  if (list) {
+    for (std::size_t idx : selected) {
+      const auto& spec = registry.scenarios()[idx];
+      std::printf("%-40s ranks=%d  %s\n", spec.name.c_str(), spec.ranks,
+                  spec.description.c_str());
+    }
+    std::printf("%zu scenarios\n", selected.size());
+    return 0;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+
+  simmc::McOptions mc_options;
+  mc_options.max_execs = max_execs;
+  mc_options.seed = seed;
+  mc_options.minimize_budget = minimize_budget;
+
+  std::vector<simmc::McReport> reports;
+  std::size_t done = 0;
+  for (std::size_t idx : selected) {
+    const auto& spec = registry.scenarios()[idx];
+    ++done;
+    if (spec.ranks <= 0 || spec.ranks > ranks_cap) {
+      simmc::McReport rep;
+      rep.scenario = spec.name;
+      rep.status = "skipped";
+      rep.detail = spec.ranks <= 0
+                       ? "scenario declares no rank count"
+                       : std::to_string(spec.ranks) + " ranks > cap " +
+                             std::to_string(ranks_cap);
+      std::printf("[%3zu/%zu] %-40s skipped (%s)\n", done, selected.size(),
+                  spec.name.c_str(), rep.detail.c_str());
+      reports.push_back(std::move(rep));
+      continue;
+    }
+    simmc::McReport rep = simmc::explore(spec, mc_options);
+    if (rep.status == "deadlock") {
+      std::string fname = spec.name;
+      std::replace(fname.begin(), fname.end(), '/', '-');
+      const std::string wpath = out_dir + "/" + fname + ".witness";
+      if (rep.witness.save(wpath)) {
+        rep.witness_path = wpath;
+      } else {
+        std::fprintf(stderr, "error: cannot write witness %s\n",
+                     wpath.c_str());
+      }
+    }
+    std::printf("[%3zu/%zu] %-40s %-17s execs=%-4d races=%-2d pruned=%-3d "
+                "%s\n",
+                done, selected.size(), spec.name.c_str(), rep.status.c_str(),
+                rep.executions, rep.race_points, rep.pruned,
+                rep.detail.c_str());
+    std::fflush(stdout);
+    reports.push_back(std::move(rep));
+  }
+
+  const std::string json_path = out_dir + "/MC.json";
+  if (!simmc::write_mc_json(json_path, filter, mc_options, ranks_cap,
+                            reports)) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::size_t failures = 0;
+  for (const auto& rep : reports)
+    if (!rep.ok()) ++failures;
+  std::printf("mc: %zu scenarios, %zu failed; wrote %s\n", reports.size(),
+              failures, json_path.c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_replay(int argc, char** argv) {
+  std::string witness_path;
+  int reps = 2;
+  OptionParser parser(
+      "replay",
+      "Re-execute a model-checker deadlock witness. Exits 0 only if every\n"
+      "replay deadlocks with an identical blocked report.");
+  parser.string_opt("witness", &witness_path,
+                    "witness file written by `gridsim mc`")
+      .int_opt("reps", &reps, "number of replays to compare");
+  int status = 0;
+  if (!parse_or_exit(parser, argc, argv, &status)) return status;
+  if (witness_path.empty()) {
+    std::fprintf(stderr, "replay: --witness FILE is required\n");
+    return 2;
+  }
+  reps = std::max(1, reps);
+
+  simmc::Witness witness;
+  std::string error;
+  if (!simmc::Witness::load(witness_path, &witness, &error)) {
+    std::fprintf(stderr, "replay: %s\n", error.c_str());
+    return 2;
+  }
+  const auto* spec = scenarios::paper_registry().find(witness.scenario);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "replay: unknown scenario '%s'\n",
+                 witness.scenario.c_str());
+    return 2;
+  }
+
+  std::printf("replay: %s, seed=%" PRIu64 ", %zu forced choice(s)\n",
+              witness.scenario.c_str(), witness.seed,
+              witness.choices.size());
+  std::vector<std::string> first_blocked;
+  for (int rep = 0; rep < reps; ++rep) {
+    const simmc::ExecutionRecord rec =
+        simmc::run_scripted(*spec, witness.choices, witness.seed);
+    if (rec.failed) {
+      std::fprintf(stderr, "replay %d: execution failed: %s\n", rep + 1,
+                   rec.error.c_str());
+      return 1;
+    }
+    if (!rec.deadlocked) {
+      std::fprintf(stderr,
+                   "replay %d: completed WITHOUT deadlocking — the witness "
+                   "does not reproduce\n",
+                   rep + 1);
+      return 1;
+    }
+    if (rep == 0) {
+      first_blocked = rec.blocked;
+      for (const auto& line : rec.blocked)
+        std::printf("  %s\n", line.c_str());
+    } else if (rec.blocked != first_blocked) {
+      std::fprintf(stderr,
+                   "replay %d: deadlocked with a DIFFERENT blocked report — "
+                   "replay is not deterministic\n",
+                   rep + 1);
+      return 1;
+    }
+  }
+  std::printf("replay: deadlock reproduced identically %d/%d times\n", reps,
+              reps);
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -488,6 +675,8 @@ int usage() {
       "  audit      determinism auditor (trace digests)\n"
       "  bench      engine micro-benchmarks -> BENCH_*.json\n"
       "  campaign   parallel experiment campaign -> CAMPAIGN.json\n"
+      "  mc         ordering model-checker over wildcard matches -> MC.json\n"
+      "  replay     re-execute a model-checker deadlock witness\n"
       "run 'gridsim <command> --help' for the command's options\n");
   return 2;
 }
@@ -509,6 +698,8 @@ int main(int argc, char** argv) {
     if (command == "audit") return cmd_audit(opt_argc, opt_argv);
     if (command == "bench") return cmd_bench(opt_argc, opt_argv);
     if (command == "campaign") return cmd_campaign(opt_argc, opt_argv);
+    if (command == "mc") return cmd_mc(opt_argc, opt_argv);
+    if (command == "replay") return cmd_replay(opt_argc, opt_argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -196,6 +196,63 @@ TEST(Campaign, FailureIsolation) {
             std::string::npos);
 }
 
+TEST(Campaign, TimeoutWatchdogDegradesGracefully) {
+  auto reg = small_registry();
+  ScenarioSpec spinning;
+  spinning.name = "bad/spins";
+  spinning.group = "bad";
+  spinning.run = [](const ScenarioContext& ctx) -> ScenarioResult {
+    // A runaway workload: virtual time advances forever, so only the
+    // wall-clock watchdog can stop it.
+    Simulation sim;
+    ctx.hooks.on_start(sim);
+    std::function<void()> spin = [&] { sim.after(10, spin); };
+    spin();
+    sim.run();
+    ctx.hooks.on_finish(sim);
+    return ScenarioResult{};
+  };
+  reg.add(std::move(spinning));
+
+  CampaignOptions options;
+  options.jobs = 2;
+  options.timeout_s = 0.05;
+  const auto report = run_campaign(reg, options);
+  ASSERT_EQ(report.outcomes.size(), 7u);
+  // The six healthy scenarios finish well inside the budget...
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(report.outcomes[i].ok) << report.outcomes[i].name;
+    EXPECT_EQ(report.outcomes[i].status, "ok") << report.outcomes[i].name;
+  }
+  // ...and the runaway one is reported as a timeout, not a crash.
+  const auto& timed_out = report.outcomes[6];
+  EXPECT_FALSE(timed_out.ok);
+  EXPECT_EQ(timed_out.status, "timeout");
+  EXPECT_NE(timed_out.error.find("wall-clock budget"), std::string::npos)
+      << timed_out.error;
+  EXPECT_EQ(report.failures(), 1u);
+
+  // The JSON report carries the status for shell tooling.
+  const std::string path = ::testing::TempDir() + "campaign_timeout.json";
+  ASSERT_TRUE(write_campaign_json(path, report));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_NE(doc.find("\"status\": \"timeout\""), std::string::npos);
+  EXPECT_NE(doc.find("\"status\": \"ok\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, StatusFieldIsOkWithoutWatchdog) {
+  const auto reg = small_registry();
+  CampaignOptions options;
+  options.filter = "chain/depth5";
+  const auto report = run_campaign(reg, options);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_EQ(report.outcomes[0].status, "ok");
+}
+
 TEST(Campaign, FilterSelectsSubset) {
   const auto reg = small_registry();
   CampaignOptions options;

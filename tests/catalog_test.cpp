@@ -131,6 +131,17 @@ const std::vector<std::string>& expected_names() {
     "robust/flap-ray2mesh",
     "robust/cross-traffic",
     "robust/packet-loss",
+    "mc/pingpong-wild-MPICH2",
+    "mc/pingpong-wild-GridMPI",
+    "mc/bcast-MPICH2",
+    "mc/allreduce-MPICH2",
+    "mc/bcast-GridMPI",
+    "mc/allreduce-GridMPI",
+    "mc/cg-MPICH2",
+    "mc/cg-GridMPI",
+    "mc/is-MPICH2",
+    "mc/is-GridMPI",
+    "mc/deadlock-fixture",
   };
   return names;
 }
@@ -155,6 +166,34 @@ TEST(Catalog, RobustGroupIsComplete) {
       "robust/cross-traffic",     "robust/packet-loss",
   };
   EXPECT_EQ(robust, expected);
+}
+
+TEST(Catalog, McGroupIsComplete) {
+  const auto& reg = paper_registry();
+  std::set<std::string> mc;
+  for (const auto& spec : reg.scenarios())
+    if (spec.group == "mc") mc.insert(spec.name);
+  const std::set<std::string> expected = {
+      "mc/pingpong-wild-MPICH2", "mc/pingpong-wild-GridMPI",
+      "mc/bcast-MPICH2",         "mc/bcast-GridMPI",
+      "mc/allreduce-MPICH2",     "mc/allreduce-GridMPI",
+      "mc/cg-MPICH2",            "mc/cg-GridMPI",
+      "mc/is-MPICH2",            "mc/is-GridMPI",
+      "mc/deadlock-fixture",
+  };
+  EXPECT_EQ(mc, expected);
+}
+
+TEST(Catalog, McScenariosDeclareSmallRankCounts) {
+  // `gridsim mc` skips scenarios without a declared rank count within its
+  // cap; every model-checking target must therefore declare one, and keep
+  // it small enough for exhaustive exploration.
+  const auto& reg = paper_registry();
+  for (const auto& spec : reg.scenarios()) {
+    if (spec.group != "mc") continue;
+    EXPECT_GT(spec.ranks, 0) << spec.name;
+    EXPECT_LE(spec.ranks, 4) << spec.name;
+  }
 }
 
 TEST(Catalog, EverySpecIsWellFormed) {

@@ -1,0 +1,192 @@
+// Regression tests for the engine's no-progress detector and wall-clock
+// watchdog (simcore/simulation.hpp).
+//
+// Before the detector existed, a recv/wait that could never match drained
+// the event queue and Simulation::run() simply returned with the blocked
+// coroutines still suspended — the wedge was silent and the scenario's
+// metrics were quietly wrong. Now run() consults its registered blocked
+// reporters and throws DeadlockError naming every blocked operation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "simcore/check.hpp"
+#include "simcore/simulation.hpp"
+#include "topology/grid5000.hpp"
+
+namespace gridsim::mpi {
+namespace {
+
+using namespace gridsim::literals;
+
+ImplProfile test_profile() {
+  ImplProfile p;
+  p.name = "test";
+  p.send_overhead = microseconds(2);
+  p.recv_overhead = microseconds(2);
+  p.eager_threshold = 256 * 1024;
+  return p;
+}
+
+struct Fixture {
+  Simulation sim;
+  topo::Grid grid;
+  Job job;
+  explicit Fixture(int nranks = 4)
+      : grid(sim, topo::GridSpec::rennes_nancy(2)),
+        job(grid, block_placement(grid, nranks), test_profile(),
+            tcp::KernelTunables::grid_tuned()) {}
+};
+
+std::string joined(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) out += l + "\n";
+  return out;
+}
+
+TEST(Deadlock, UnmatchableRecvThrowsAndNamesTheOperation) {
+  // Abandoning the blocked coroutine frame is the expected outcome here.
+  [[maybe_unused]] ScopedLeakExemption leak_exemption;
+  Fixture f;
+  f.sim.spawn([](Rank& r) -> Task<void> {
+    (void)co_await r.recv(1, 7);  // rank 1 never sends
+  }(f.job.rank(0)));
+  try {
+    f.sim.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
+    ASSERT_EQ(e.blocked().size(), 1u);
+    EXPECT_EQ(e.blocked()[0],
+              "rank 0: recv(src=1, tag=7) blocked; "
+              "0 unexpected message(s) queued");
+    // The structured lines are folded into what() for plain loggers too.
+    EXPECT_NE(std::string(e.what()).find("recv(src=1, tag=7)"),
+              std::string::npos);
+  }
+}
+
+TEST(Deadlock, WildcardsRenderAsStars) {
+  [[maybe_unused]] ScopedLeakExemption leak_exemption;
+  Fixture f;
+  f.sim.spawn([](Rank& r) -> Task<void> {
+    (void)co_await r.recv(kAnySource, kAnyTag);
+  }(f.job.rank(2)));
+  try {
+    f.sim.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    ASSERT_EQ(e.blocked().size(), 1u);
+    EXPECT_NE(e.blocked()[0].find("rank 2: recv(src=*, tag=*)"),
+              std::string::npos)
+        << e.blocked()[0];
+  }
+}
+
+TEST(Deadlock, UnmatchedIrecvWaitIsDetected) {
+  [[maybe_unused]] ScopedLeakExemption leak_exemption;
+  Fixture f;
+  f.sim.spawn([](Rank& r) -> Task<void> {
+    Request req = r.irecv(3, 5);  // rank 3 never sends
+    (void)co_await r.wait(req);
+  }(f.job.rank(1)));
+  EXPECT_THROW(f.sim.run(), DeadlockError);
+}
+
+TEST(Deadlock, RendezvousSenderAwaitingCtsIsReported) {
+  [[maybe_unused]] ScopedLeakExemption leak_exemption;
+  Fixture f;
+  // Above the eager threshold: the sender parks on the CTS that the
+  // never-posted receive would have produced.
+  f.sim.spawn([](Rank& r) -> Task<void> {
+    co_await r.send(1, 512e3, 0);
+  }(f.job.rank(0)));
+  try {
+    f.sim.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_NE(joined(e.blocked()).find("rendez-vous send awaiting CTS"),
+              std::string::npos)
+        << joined(e.blocked());
+  }
+}
+
+TEST(Deadlock, ReportNamesEveryBlockedRank) {
+  [[maybe_unused]] ScopedLeakExemption leak_exemption;
+  Fixture f;
+  f.sim.spawn([](Rank& r) -> Task<void> {
+    (void)co_await r.recv(1, 1);
+  }(f.job.rank(0)));
+  f.sim.spawn([](Rank& r) -> Task<void> {
+    (void)co_await r.recv(3, 2);
+  }(f.job.rank(2)));
+  try {
+    f.sim.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    ASSERT_EQ(e.blocked().size(), 2u);
+    EXPECT_NE(joined(e.blocked()).find("rank 0:"), std::string::npos);
+    EXPECT_NE(joined(e.blocked()).find("rank 2:"), std::string::npos);
+  }
+}
+
+TEST(Deadlock, CleanRunStillReturnsNormally) {
+  Fixture f;
+  double got = 0;
+  f.sim.spawn([](Rank& r) -> Task<void> {
+    co_await r.send(1, 1000, 3);
+  }(f.job.rank(0)));
+  f.sim.spawn([](Rank& r, double& out) -> Task<void> {
+    out = (co_await r.recv(0, 3)).bytes;
+  }(f.job.rank(1), got));
+  EXPECT_NO_THROW(f.sim.run());
+  EXPECT_EQ(got, 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock watchdog (the `gridsim campaign --timeout-s` mechanism).
+// ---------------------------------------------------------------------------
+
+TEST(WallDeadline, ExpiredDeadlineTurnsBlockedRunIntoTimeout) {
+  [[maybe_unused]] ScopedLeakExemption leak_exemption;
+  Fixture f;
+  f.sim.set_wall_deadline(std::chrono::steady_clock::now());
+  f.sim.spawn([](Rank& r) -> Task<void> {
+    (void)co_await r.recv(1, 7);
+  }(f.job.rank(0)));
+  // Timeout takes precedence over the deadlock diagnosis: once the budget
+  // is gone we cannot tell a wedge from slow progress.
+  EXPECT_THROW(f.sim.run(), TimeoutError);
+}
+
+TEST(WallDeadline, ExpiredDeadlineStopsABusyLoop) {
+  [[maybe_unused]] ScopedLeakExemption leak_exemption;
+  Simulation sim;
+  sim.set_wall_deadline(std::chrono::steady_clock::now());
+  sim.spawn([](Simulation* s) -> Task<void> {
+    for (;;) co_await s->delay(nanoseconds(100));
+  }(&sim));
+  EXPECT_THROW(sim.run(), TimeoutError);
+}
+
+TEST(WallDeadline, ClearDisarmsTheWatchdog) {
+  Simulation sim;
+  sim.set_wall_deadline(std::chrono::steady_clock::now());
+  sim.clear_wall_deadline();
+  int steps = 0;
+  // Cross several 16384-event check boundaries to prove the disarm held.
+  sim.spawn([](Simulation* s, int* n) -> Task<void> {
+    for (int i = 0; i < 40'000; ++i) {
+      co_await s->delay(nanoseconds(10));
+      ++*n;
+    }
+  }(&sim, &steps));
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_EQ(steps, 40'000);
+}
+
+}  // namespace
+}  // namespace gridsim::mpi

@@ -359,5 +359,105 @@ TEST(Mpi, PingPongManyRounds) {
   EXPECT_GT(f.sim.now(), kRounds * 11600_us);
 }
 
+// ---------------------------------------------------------------------------
+// Wildcard matching order under an explicit MatchArbiter (the engine's
+// model-checking hook; see mpi/match_arbiter.hpp).
+// ---------------------------------------------------------------------------
+
+/// Deferring arbiter that forces candidate `pick` at the first decision and
+/// arrival order everywhere after.
+struct FirstPickArbiter final : MatchArbiter {
+  explicit FirstPickArbiter(std::size_t pick) : pick_(pick) {}
+  bool defer_wildcards() const override { return true; }
+  std::size_t choose(const MatchDecision& decision) override {
+    ++decisions;
+    first_candidates =
+        first_candidates ? first_candidates : decision.candidates.size();
+    const std::size_t p = decisions == 1 ? pick_ : 0;
+    return p < decision.candidates.size() ? p : 0;
+  }
+  std::size_t pick_;
+  int decisions = 0;
+  std::size_t first_candidates = 0;
+};
+
+TEST(Mpi, WildcardMatchingBothOrdersAreLegal) {
+  // Two concurrent senders into one kAnySource receive: MPI allows either
+  // matching order. Forcing each via the arbiter must deliver the matched
+  // sender's payload intact — source and bytes stay consistent.
+  const auto run = [](std::size_t pick) {
+    FirstPickArbiter arbiter(pick);
+    ScopedArbiter ambient(&arbiter);
+    Fixture f;  // the Job adopts the thread's ambient arbiter
+    std::vector<int> sources;
+    std::vector<double> bytes;
+    f.sim.spawn([](Rank& r, std::vector<int>& srcs,
+                   std::vector<double>& sizes) -> Task<void> {
+      for (int i = 0; i < 2; ++i) {
+        const RecvInfo info = co_await r.recv(kAnySource, 1);
+        srcs.push_back(info.source);
+        sizes.push_back(info.bytes);
+      }
+    }(f.job.rank(0), sources, bytes));
+    f.sim.spawn([](Rank& r) -> Task<void> { co_await r.send(0, 111, 1); }(
+        f.job.rank(1)));
+    f.sim.spawn([](Rank& r) -> Task<void> { co_await r.send(0, 222, 1); }(
+        f.job.rank(2)));
+    f.sim.run();
+    EXPECT_EQ(arbiter.first_candidates, 2u);  // both senders co-enabled
+    return std::make_pair(sources, bytes);
+  };
+  const auto order0 = run(0);
+  EXPECT_EQ(order0.first, (std::vector<int>{1, 2}));
+  EXPECT_EQ(order0.second, (std::vector<double>{111, 222}));
+  const auto order1 = run(1);
+  EXPECT_EQ(order1.first, (std::vector<int>{2, 1}));
+  EXPECT_EQ(order1.second, (std::vector<double>{222, 111}));
+}
+
+TEST(Mpi, WildcardUnexpectedQueueKeepsArrivalOrder) {
+  // Default (arrival-order) arbiter, receiver posts late: both messages sit
+  // in the unexpected queue, and the wildcard receives drain it strictly in
+  // arrival order — LAN sender (rank 1) first, WAN sender (rank 2) second.
+  Fixture f;
+  std::vector<int> sources;
+  f.sim.spawn([](Rank& r) -> Task<void> { co_await r.send(0, 10, 1); }(
+      f.job.rank(1)));
+  f.sim.spawn([](Rank& r) -> Task<void> { co_await r.send(0, 10, 1); }(
+      f.job.rank(2)));
+  f.sim.spawn([](Rank& r, std::vector<int>& out) -> Task<void> {
+    co_await r.sim().delay(100_ms);  // both messages are queued by now
+    out.push_back((co_await r.recv(kAnySource, 1)).source);
+    out.push_back((co_await r.recv(kAnySource, 1)).source);
+  }(f.job.rank(0), sources));
+  f.sim.run();
+  EXPECT_EQ(sources, (std::vector<int>{1, 2}));
+}
+
+TEST(Mpi, DeferredWildcardDoesNotStealFromSpecificRecv) {
+  // Deferral soundness: while a wildcard is parked, a specific receive that
+  // also matches a parked message must not steal a message the
+  // earlier-posted wildcard could take — posted order wins. With the
+  // wildcard forced to rank 2's message, the specific recv(1) still gets
+  // rank 1's.
+  FirstPickArbiter arbiter(1);
+  ScopedArbiter ambient(&arbiter);
+  Fixture f;
+  int wild_src = -1, specific_src = -1;
+  f.sim.spawn([](Rank& r, int& wild, int& specific) -> Task<void> {
+    const Request wildcard = r.irecv(kAnySource, 1);
+    const Request from1 = r.irecv(1, 1);
+    wild = (co_await r.wait(wildcard)).source;
+    specific = (co_await r.wait(from1)).source;
+  }(f.job.rank(0), wild_src, specific_src));
+  f.sim.spawn([](Rank& r) -> Task<void> { co_await r.send(0, 111, 1); }(
+      f.job.rank(1)));
+  f.sim.spawn([](Rank& r) -> Task<void> { co_await r.send(0, 222, 1); }(
+      f.job.rank(2)));
+  f.sim.run();
+  EXPECT_EQ(wild_src, 2);
+  EXPECT_EQ(specific_src, 1);
+}
+
 }  // namespace
 }  // namespace gridsim::mpi
