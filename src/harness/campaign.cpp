@@ -12,6 +12,7 @@
 #include "harness/determinism.hpp"
 #include "simcore/check.hpp"
 #include "simcore/trace.hpp"
+#include "simlint/lint.hpp"
 
 namespace gridsim::harness {
 
@@ -83,6 +84,12 @@ ScenarioOutcome run_one(const ScenarioSpec& spec,
   ctx.seed = options.seed;
   if (options.digests) ctx.hooks = digest_hooks(&state);
 
+  // Comm-event recording is passive (it never touches the Tracer or the
+  // event order), so digests are identical with lint on or off.
+  mpi::CommLog comm_log;
+  std::optional<mpi::ScopedCommLog> log_scope;
+  if (options.lint) log_scope.emplace(&comm_log);
+
   // Watchdog: one deadline for the whole scenario, armed on every
   // Simulation it constructs. The deadline is checked at event boundaries,
   // so the engine degrades gracefully — no thread is killed mid-update. A
@@ -137,6 +144,12 @@ ScenarioOutcome run_one(const ScenarioSpec& spec,
     out.trace_events = state.events;
     out.simulations = state.sims;
     out.final_time = state.final_time;
+  }
+  if (options.lint && out.ok) {
+    const simlint::LintSummary lint =
+        simlint::analyze(comm_log, /*max_findings=*/0);
+    out.races = lint.races;
+    out.hb_edges = lint.hb_edges;
   }
   return out;
 }
@@ -240,14 +253,16 @@ bool write_campaign_json(const std::string& path,
                  "    {\"name\": \"%s\", \"group\": \"%s\", \"ok\": %s, "
                  "\"digest\": \"%016llx\", \"trace_events\": %llu, "
                  "\"simulations\": %llu, \"final_time_ns\": %lld, "
-                 "\"wall_s\": %.6f, \"status\": \"%s\"",
+                 "\"wall_s\": %.6f, \"status\": \"%s\", "
+                 "\"races\": %d, \"hb_edges\": %llu",
                  json_escape(o.name).c_str(), json_escape(o.group).c_str(),
                  o.ok ? "true" : "false",
                  static_cast<unsigned long long>(o.digest),
                  static_cast<unsigned long long>(o.trace_events),
                  static_cast<unsigned long long>(o.simulations),
                  static_cast<long long>(o.final_time), o.wall_s,
-                 json_escape(o.status).c_str());
+                 json_escape(o.status).c_str(), o.races,
+                 static_cast<unsigned long long>(o.hb_edges));
     if (!o.ok)
       std::fprintf(f, ", \"error\": \"%s\"", json_escape(o.error).c_str());
     if (!o.result.note.empty())

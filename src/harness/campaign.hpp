@@ -36,6 +36,11 @@ struct CampaignOptions {
   /// Simulation it is running (TimeoutError), reported with
   /// `status == "timeout"`, and the rest of the campaign proceeds.
   double timeout_s = 0;
+  /// Record each scenario's comm-event log and run the simlint
+  /// happens-before analysis over it, filling ScenarioOutcome::races and
+  /// hb_edges (counters only — `gridsim lint` reports the sites). Off, the
+  /// engine skips recording entirely (the bench shims use this).
+  bool lint = true;
 };
 
 /// One scenario's execution record.
@@ -53,6 +58,8 @@ struct ScenarioOutcome {
   std::uint64_t simulations = 0;  ///< Simulations the scenario ran
   std::int64_t final_time = 0;    ///< max virtual end time across them (ns)
   double wall_s = 0;
+  int races = 0;                  ///< simlint R1 racing send pairs
+  std::uint64_t hb_edges = 0;     ///< cross-rank happens-before edges
 };
 
 struct CampaignReport {

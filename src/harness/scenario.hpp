@@ -76,6 +76,11 @@ struct ScenarioSpec {
   /// must bound state-space size (`gridsim mc --ranks-cap`) skip scenarios
   /// that do not declare a rank count within the cap.
   int ranks = 0;
+  /// The workload intentionally contains wildcard-receive races (e.g. a
+  /// master/worker pattern whose result is interleaving-invariant).
+  /// `gridsim lint` reports them as "expected-races" (passing) instead of
+  /// "races" (failing). Leaks (rule R3) always fail.
+  bool races_expected = false;
   ScenarioFn run;
 };
 

@@ -1,0 +1,17 @@
+#include "mpi/comm_log.hpp"
+
+namespace gridsim::mpi {
+
+namespace {
+thread_local CommLog* g_ambient_comm_log = nullptr;
+}  // namespace
+
+CommLog* ambient_comm_log() { return g_ambient_comm_log; }
+
+ScopedCommLog::ScopedCommLog(CommLog* log) : previous_(g_ambient_comm_log) {
+  g_ambient_comm_log = log;
+}
+
+ScopedCommLog::~ScopedCommLog() { g_ambient_comm_log = previous_; }
+
+}  // namespace gridsim::mpi

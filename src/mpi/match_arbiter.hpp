@@ -32,6 +32,11 @@ struct MatchCandidate {
   int tag = 0;
   double bytes = 0;
   std::uint64_t order = 0;  ///< per-(src,dst) match-order stamp
+  /// Source-rank send-site index (MsgMeta::send_site): which of the
+  /// source's sends produced this candidate. The model-checker's
+  /// HB-derived persistent sets use it to ask the happens-before analysis
+  /// whether two candidates genuinely race (src/simlint).
+  int send_site = -1;
 };
 
 /// A wildcard receive whose match is being decided, with every co-enabled

@@ -30,6 +30,12 @@ struct MsgMeta {
   /// connections and can physically overtake; the receiver restores MPI's
   /// non-overtaking order from this sequence number before matching.
   std::uint64_t order = 0;
+  /// Sender-side operation index: this is the `send_site`-th send the
+  /// source rank issued (any destination). Stable across interleavings, so
+  /// the happens-before analysis (src/simlint) can join a receive match
+  /// back to the exact send event that produced the message. -1 for
+  /// control-only messages that are never matched (CTS).
+  int send_site = -1;
 };
 
 /// What a completed receive reports back to the application.

@@ -42,6 +42,19 @@ Task<void> Rank::send(int dst, double bytes, int tag) {
                 "Rank::send: bad byte count %g (rank %d -> %d)", bytes, rank_,
                 dst);
   const ImplProfile& p = job_->profile();
+  // Send-site id: the site counter always advances (logged or not) so site
+  // numbering is identical across logged and unlogged runs.
+  const int site = send_seq_++;
+  if (comm_ != nullptr) {
+    CommEvent e;
+    e.kind = CommEventKind::kSendPost;
+    e.rank = rank_;
+    e.peer = dst;
+    e.tag = tag;
+    e.bytes = bytes;
+    e.site = site;
+    comm_->push(e);
+  }
   job_->record_payload(rank_, dst, bytes, tag);
   co_await sim().delay(side_overhead(p.send_overhead, dst));
 
@@ -58,6 +71,7 @@ Task<void> Rank::send(int dst, double bytes, int tag) {
     m.tag = tag;
     m.bytes = bytes;
     m.order = next_order_to(dst);
+    m.send_site = site;
     co_await job_->transmit_striped(rank_, dst, bytes + p.header_bytes, m,
                                     p.wan_parallel_streams);
     co_return;
@@ -71,6 +85,7 @@ Task<void> Rank::send(int dst, double bytes, int tag) {
     m.tag = tag;
     m.bytes = bytes;
     m.order = next_order_to(dst);
+    m.send_site = site;
     co_await job_->transmit_buffered(rank_, dst, bytes + p.header_bytes, m);
     co_return;
   }
@@ -87,9 +102,23 @@ Task<void> Rank::send(int dst, double bytes, int tag) {
   rts.bytes = bytes;
   rts.seq = seq;
   rts.order = next_order_to(dst);
+  rts.send_site = site;
   job_->transmit(rank_, dst, p.control_bytes, rts);
   co_await cts.wait();
   cts_waiters_.erase(seq);
+  if (comm_ != nullptr) {
+    // The CTS resumption is a receiver -> sender happens-before edge: the
+    // sender's continuation is causally after the receiver's kRecvCts.
+    CommEvent e;
+    e.kind = CommEventKind::kSendCts;
+    e.rank = rank_;
+    e.peer = dst;
+    e.tag = tag;
+    e.bytes = bytes;
+    e.site = site;
+    e.seq = seq;
+    comm_->push(e);
+  }
 
   MsgMeta data = rts;
   data.kind = MsgKind::kRndvData;
@@ -102,6 +131,16 @@ Task<RecvInfo> Rank::recv(int src, int tag) {
   GRIDSIM_CHECK(tag == kAnyTag || tag >= 0, "Rank::recv: bad tag %d", tag);
   const ImplProfile& p = job_->profile();
   const bool defer_mode = job_->arbiter().defer_wildcards();
+  const int rsite = recv_seq_++;
+  if (comm_ != nullptr) {
+    CommEvent e;
+    e.kind = CommEventKind::kRecvPost;
+    e.rank = rank_;
+    e.want_src = src;
+    e.want_tag = tag;
+    e.site = rsite;
+    comm_->push(e);
+  }
   MsgMeta meta;
   bool unexpected = false;
 
@@ -142,6 +181,23 @@ Task<RecvInfo> Rank::recv(int src, int tag) {
     }
   }
 
+  // Every receive path (arrived queue, direct handoff, arbitrated wildcard)
+  // converges here with `meta` filled: the single match-recording point.
+  if (comm_ != nullptr) {
+    CommEvent e;
+    e.kind = CommEventKind::kRecvMatch;
+    e.rank = rank_;
+    e.peer = meta.src_rank;
+    e.tag = meta.tag;
+    e.want_src = src;
+    e.want_tag = tag;
+    e.site = rsite;
+    e.peer_site = meta.send_site;
+    e.bytes = meta.bytes;
+    e.seq = meta.seq;
+    comm_->push(e);
+  }
+
   if (meta.kind == MsgKind::kEager) {
     SimTime cost = side_overhead(p.recv_overhead, meta.src_rank);
     if (unexpected) cost += copy_time(meta.bytes);  // Fig 4, arrow 2
@@ -161,10 +217,48 @@ Task<RecvInfo> Rank::recv(int src, int tag) {
   cts.tag = meta.tag;
   cts.seq = meta.seq;
   job_->transmit(rank_, meta.src_rank, p.control_bytes, cts);
+  if (comm_ != nullptr) {
+    CommEvent e;
+    e.kind = CommEventKind::kRecvCts;
+    e.rank = rank_;
+    e.peer = meta.src_rank;
+    e.tag = meta.tag;
+    e.site = rsite;
+    e.seq = meta.seq;
+    comm_->push(e);
+  }
   co_await data_done.wait();
   data_waiters_.erase(meta.seq);
+  if (comm_ != nullptr) {
+    // Payload landed: the receiver's continuation is causally after the
+    // sender's post-CTS data send (kSendCts).
+    CommEvent e;
+    e.kind = CommEventKind::kRecvData;
+    e.rank = rank_;
+    e.peer = data_meta.src_rank;
+    e.tag = data_meta.tag;
+    e.site = rsite;
+    e.peer_site = data_meta.send_site;
+    e.bytes = data_meta.bytes;
+    e.seq = meta.seq;
+    comm_->push(e);
+  }
   co_await sim().delay(side_overhead(p.recv_overhead, meta.src_rank));
   co_return RecvInfo{data_meta.src_rank, data_meta.tag, data_meta.bytes};
+}
+
+int Rank::next_collective_tag() {
+  const int tag = kCollectiveTagBase + coll_seq_;
+  if (comm_ != nullptr) {
+    CommEvent e;
+    e.kind = CommEventKind::kCollPhase;
+    e.rank = rank_;
+    e.tag = tag;
+    e.site = coll_seq_;
+    comm_->push(e);
+  }
+  ++coll_seq_;
+  return tag;
 }
 
 void Rank::on_arrival(const MsgMeta& meta) {
@@ -274,7 +368,7 @@ bool Rank::mc_resolve_one(MatchArbiter& arbiter) {
       // co-enabled; later ones can never legally match before it.
       if (seen) continue;
       decision.candidates.push_back(
-          MatchCandidate{m.src_rank, m.tag, m.bytes, m.order});
+          MatchCandidate{m.src_rank, m.tag, m.bytes, m.order, m.send_site});
       positions.push_back(i);
     }
     if (decision.candidates.empty()) continue;
@@ -351,6 +445,35 @@ void Rank::report_blocked(std::vector<std::string>* out) const {
     out->push_back("rank " + std::to_string(rank_) +
                    ": rendez-vous receive awaiting payload (seq " +
                    std::to_string(seq) + ")");
+}
+
+void Rank::record_finalize(JobCommTrace& log) const {
+  for (const MsgMeta& m : arrived_) {
+    CommEvent e;
+    e.kind = CommEventKind::kUnmatchedSend;
+    e.rank = rank_;
+    e.peer = m.src_rank;
+    e.tag = m.tag;
+    e.bytes = m.bytes;
+    e.peer_site = m.send_site;
+    log.push(e);
+  }
+  for (const Posted& pr : posted_) {
+    CommEvent e;
+    e.kind = CommEventKind::kUnmatchedRecv;
+    e.rank = rank_;
+    e.want_src = pr.src;
+    e.want_tag = pr.tag;
+    log.push(e);
+  }
+  for (const Prober& pb : probers_) {
+    CommEvent e;
+    e.kind = CommEventKind::kUnmatchedRecv;
+    e.rank = rank_;
+    e.want_src = pb.src;
+    e.want_tag = pb.tag;
+    log.push(e);
+  }
 }
 
 Task<RecvInfo> Rank::probe(int src, int tag) {
@@ -464,9 +587,12 @@ Job::Job(topo::Grid& grid, std::vector<net::HostId> placement,
       arbiter_(ambient_arbiter() != nullptr ? ambient_arbiter()
                                             : &arrival_order_arbiter()) {
   if (placement.empty()) throw std::invalid_argument("empty placement");
+  if (CommLog* log = ambient_comm_log(); log != nullptr)
+    comm_trace_ = log->open_job(static_cast<int>(placement.size()));
   int r = 0;
   for (net::HostId h : placement) {
     ranks_.push_back(std::unique_ptr<Rank>(new Rank(*this, r++, h)));
+    ranks_.back()->comm_ = comm_trace_;
   }
   idle_hook_id_ = sim().add_idle_hook([this] { return mc_resolve_one(); });
   blocked_reporter_id_ = sim().add_blocked_reporter(
@@ -474,6 +600,12 @@ Job::Job(topo::Grid& grid, std::vector<net::HostId> placement,
 }
 
 Job::~Job() {
+  // Finalize-time leak sweep (lint rule R3): whatever is still queued or
+  // posted when the job is torn down was never consumed. Runs even when the
+  // scenario unwinds from a deadlock or timeout, which is exactly when the
+  // leftovers are most interesting.
+  if (comm_trace_ != nullptr)
+    for (const auto& r : ranks_) r->record_finalize(*comm_trace_);
   Simulation& s = sim();
   s.remove_idle_hook(idle_hook_id_);
   s.remove_blocked_reporter(blocked_reporter_id_);

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mpi/comm_log.hpp"
 #include "mpi/match_arbiter.hpp"
 #include "mpi/message.hpp"
 #include "mpi/profile.hpp"
@@ -106,8 +107,8 @@ class Rank {
 
   /// Monotonic per-rank collective sequence number (collective algorithms
   /// use it to derive matching tags; every rank must call collectives in
-  /// the same order).
-  int next_collective_tag() { return kCollectiveTagBase + coll_seq_++; }
+  /// the same order). Logged as a kCollPhase comm event.
+  int next_collective_tag();
 
  private:
   friend class Job;
@@ -147,12 +148,18 @@ class Rank {
   /// were held behind it may now belong to later-posted specific receives.
   void mc_rematch();
   void report_blocked(std::vector<std::string>* out) const;
+  /// Finalize-time leak events (R3): unmatched messages still queued and
+  /// receives/probes that never completed. Called from ~Job.
+  void record_finalize(JobCommTrace& log) const;
 
   Job* job_;
   int rank_;
   net::HostId host_;
+  JobCommTrace* comm_ = nullptr;  ///< per-Job comm-event trace (may be null)
   int coll_seq_ = 0;
   int wildcard_seq_ = 0;  ///< wildcard receives posted so far (site ids)
+  int send_seq_ = 0;      ///< sends issued so far (send-site ids)
+  int recv_seq_ = 0;      ///< receives posted so far (recv-site ids)
 
   std::deque<MsgMeta> arrived_;  // unexpected eager payloads + unmatched RTS
   std::deque<Posted> posted_;
@@ -249,6 +256,7 @@ class Job {
   tcp::KernelTunables kernel_;
   tcp::TcpModelParams tcp_params_;
   MatchArbiter* arbiter_;
+  JobCommTrace* comm_trace_ = nullptr;  ///< ambient CommLog's trace, if any
   std::uint64_t idle_hook_id_ = 0;
   std::uint64_t blocked_reporter_id_ = 0;
   std::vector<std::unique_ptr<Rank>> ranks_;

@@ -43,6 +43,7 @@ const harness::ScenarioRegistry& paper_registry() {
     detail::register_apps_catalog(reg);
     detail::register_robust_catalog(reg);
     detail::register_mc_catalog(reg);
+    detail::register_lint_catalog(reg);
     return reg;
   }();
   return registry;
@@ -59,6 +60,7 @@ int run_and_print(const std::string& filter) {
   options.filter = filter;
   options.jobs = 1;
   options.digests = false;
+  options.lint = false;  // bench shims: no recording overhead
   const auto report = harness::run_campaign(reg, options);
 
   std::set<std::string> seen;

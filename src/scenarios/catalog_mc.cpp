@@ -83,6 +83,7 @@ void register_wildcard_pingpong(ScenarioRegistry& reg) {
         impl.name;
     spec.expected_metrics = {"recvs", "sum_bytes", "weighted_sum", "acks"};
     spec.ranks = kRanks;
+    spec.races_expected = true;  // the racing senders are the point
     spec.run = [impl](const ScenarioContext& ctx) {
       const profiles::ExperimentConfig cfg =
           profiles::experiment(impl).tuning(TuningLevel::kTcpTuned);
@@ -239,6 +240,7 @@ void register_deadlock_fixture(ScenarioRegistry& reg) {
       "order (checker must produce a witness)";
   spec.expected_metrics = {"recvs", "sum_bytes"};
   spec.ranks = 3;
+  spec.races_expected = true;  // the hidden ordering bug *is* an R1 race
   spec.run = [](const ScenarioContext& ctx) {
     Simulation sim;
     if (ctx.hooks.on_start) ctx.hooks.on_start(sim);

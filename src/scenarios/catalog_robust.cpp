@@ -212,6 +212,7 @@ void register_flap(ScenarioRegistry& reg) {
         "ray2mesh on the quad deployment with a repeating WAN flap -- "
         "GridMPI";
     spec.expected_metrics = {"total_time_s", "degraded_events"};
+    spec.races_expected = true;  // master/worker self-scheduling races
     spec.run = [](const ScenarioContext& ctx) {
       apps::Ray2MeshConfig app;
       app.total_rays = 20'000;

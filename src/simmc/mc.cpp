@@ -157,6 +157,12 @@ ExecutionRecord run_scripted(const harness::ScenarioSpec& spec,
   ExecutionRecord rec;
   ScriptedArbiter arbiter(script);
   mpi::ScopedArbiter ambient(&arbiter);
+  // Record the comm-event log of this execution; its happens-before
+  // analysis drives the persistent-set reduction and the R2 completeness
+  // check in explore(). Deadlock unwinding still runs Job destructors, so
+  // unmatched operations are in the log even for witness runs.
+  mpi::CommLog comm_log;
+  mpi::ScopedCommLog log_scope(&comm_log);
   harness::ScenarioContext ctx;
   ctx.seed = seed;
   // A deadlocking execution abandons its suspended coroutine frames (they
@@ -175,6 +181,7 @@ ExecutionRecord run_scripted(const harness::ScenarioSpec& spec,
     rec.error = e.what();
   }
   rec.trace = arbiter.trace();
+  rec.lint = simlint::analyze(comm_log, /*max_findings=*/0);
   return rec;
 }
 
@@ -201,6 +208,12 @@ McReport explore(const harness::ScenarioSpec& spec,
     ++report.executions;
     report.deepest_trace = std::max(
         report.deepest_trace, static_cast<int>(rec.trace.size()));
+    // R2 (simlint): a send issued causally after a wildcard match means
+    // the quiescence-computed candidate sets may have been incomplete in
+    // some unexplored interleaving — the report must not claim otherwise.
+    report.causal_sends =
+        std::max(report.causal_sends, rec.lint.causal_sends);
+    report.complete = report.causal_sends == 0;
     for (const DecisionRecord& d : rec.trace) {
       report.max_candidates = std::max(
           report.max_candidates, static_cast<int>(d.candidates.size()));
@@ -232,8 +245,23 @@ McReport explore(const harness::ScenarioSpec& spec,
     digests.insert(rec.digest);
     for (std::size_t depth = prefix.size(); depth < rec.trace.size();
          ++depth) {
-      for (std::size_t alt = 1; alt < rec.trace[depth].candidates.size();
-           ++alt) {
+      const DecisionRecord& decision = rec.trace[depth];
+      const mpi::MatchCandidate& chosen =
+          decision.candidates[decision.chosen];
+      for (std::size_t alt = 1; alt < decision.candidates.size(); ++alt) {
+        // HB persistent set: if the chosen send happens-before the
+        // alternative's send, causal delivery forbids the alternative
+        // overtaking it — forcing it replays an explored behaviour, so
+        // the DFS only branches on genuinely racing (HB-concurrent)
+        // candidates. Unknown order conservatively keeps the branch.
+        if (options.hb_sets &&
+            rec.lint.send_happens_before(
+                chosen.src_rank, chosen.send_site,
+                decision.candidates[alt].src_rank,
+                decision.candidates[alt].send_site)) {
+          ++report.hb_pruned;
+          continue;
+        }
         std::vector<std::size_t> child;
         child.reserve(depth + 1);
         for (std::size_t j = 0; j < depth; ++j)
@@ -257,7 +285,12 @@ McReport explore(const harness::ScenarioSpec& spec,
         (stack.empty() ? std::string()
                        : " (budget hit with " +
                              std::to_string(stack.size()) +
-                             " prefix(es) unexplored)");
+                             " prefix(es) unexplored)") +
+        (report.complete
+             ? std::string("; hb-complete")
+             : "; verified-incomplete (" +
+                   std::to_string(report.causal_sends) +
+                   " causally-dependent send(s))");
   } else {
     report.status = "digest-divergence";
     report.detail = std::to_string(digests.size()) +
@@ -362,10 +395,13 @@ bool write_mc_json(const std::string& path, const std::string& filter,
                  "    {\"name\": \"%s\", \"status\": \"%s\", "
                  "\"executions\": %d, \"race_points\": %d, "
                  "\"max_candidates\": %d, \"pruned\": %d, "
+                 "\"hb_pruned\": %d, \"causal_sends\": %d, "
+                 "\"complete\": %s, "
                  "\"deepest_trace\": %d, \"digests\": [",
                  json_escape(r.scenario).c_str(),
                  json_escape(r.status).c_str(), r.executions,
-                 r.race_points, r.max_candidates, r.pruned,
+                 r.race_points, r.max_candidates, r.pruned, r.hb_pruned,
+                 r.causal_sends, r.complete ? "true" : "false",
                  r.deepest_trace);
     for (std::size_t d = 0; d < r.digests.size(); ++d)
       std::fprintf(f, "%s\"%s\"", d ? ", " : "",

@@ -17,14 +17,26 @@
 //    that reach an already-visited assignment via a different choice
 //    prefix.
 //
-// Known incompleteness (documented in docs/model-checking.md): deferral
-// resolves wildcards at quiescence in canonical order (lowest rank, oldest
-// posted first), so interleavings in which a *later* resolution would have
+// Known incompleteness, and how it is now checked rather than assumed
+// (docs/model-checking.md, docs/race-detection.md): deferral resolves
+// wildcards at quiescence in canonical order (lowest rank, oldest posted
+// first), so interleavings in which a *later* resolution would have
 // enlarged an earlier decision's candidate set are explored with the
-// quiescent candidate set instead. Since quiescence makes every in-flight
-// message visible before anything is resolved, candidate sets are maximal
-// for all workloads whose sends do not causally depend on a wildcard match
-// outcome — which covers the registered mc/* catalog.
+// quiescent candidate set instead. Candidate sets are maximal whenever no
+// send causally depends on a wildcard match outcome. The simlint
+// happens-before analyzer verifies that property per execution (rule R2):
+// every explored execution is re-analyzed, and any causally-dependent send
+// downgrades the report from "hb-complete" to "verified-incomplete"
+// (McReport::complete == false) instead of silently over-claiming. The
+// registered mc/* catalog is R2-clean.
+//
+// The same analyzer powers a third reduction: HB persistent sets
+// (McOptions::hb_sets, CLI --no-hb). A branch that forces candidate B in
+// place of the chosen candidate A is pruned when A's send happens-before
+// B's send — under causal delivery B cannot overtake A, so the branch
+// replays an already-explored behaviour. Only genuinely racing
+// (HB-concurrent) candidates branch; digests and race points are
+// unchanged, with fewer executions.
 //
 // Per execution the checker asserts:
 //  (a) no deadlock — a blocked-forever rank (Simulation::DeadlockError)
@@ -43,6 +55,7 @@
 
 #include "harness/scenario.hpp"
 #include "mpi/match_arbiter.hpp"
+#include "simlint/lint.hpp"
 
 namespace gridsim::simmc {
 
@@ -81,6 +94,7 @@ struct ExecutionRecord {
   std::vector<std::string> blocked;   ///< per-operation blocked lines
   bool failed = false;                ///< non-deadlock exception
   std::string error;
+  simlint::LintSummary lint;  ///< HB analysis of this execution's comm log
 };
 
 /// A replayable deadlock schedule ("gridsim-mc-witness/1" on disk).
@@ -98,6 +112,7 @@ struct McOptions {
   int max_execs = 64;        ///< exploration budget (executions)
   std::uint64_t seed = 1;    ///< ScenarioContext seed for every execution
   int minimize_budget = 32;  ///< extra executions for witness shrinking
+  bool hb_sets = true;       ///< HB persistent-set reduction (CLI --no-hb)
 };
 
 /// Exploration summary for one scenario ("gridsim-mc/1" JSON element).
@@ -109,6 +124,10 @@ struct McReport {
   int race_points = 0;     ///< decision sites that ever had >= 2 candidates
   int max_candidates = 0;  ///< widest candidate set seen
   int pruned = 0;          ///< executions elided by assignment dedup
+  int hb_pruned = 0;       ///< branches elided by HB persistent sets
+  int causal_sends = 0;    ///< max R2 causally-dependent sends (simlint)
+  bool complete = true;    ///< no execution tripped R2: candidate sets
+                           ///< were provably maximal ("hb-complete")
   int deepest_trace = 0;   ///< longest decision trace
   std::vector<std::uint64_t> digests;  ///< distinct result digests
   Witness witness;             ///< populated when status == "deadlock"

@@ -14,7 +14,9 @@
 //   gridsim campaign  [--filter GLOB] [--jobs N] [--out DIR] [--seed N]
 //                     [--timeout-s N] [--render] [--list]
 //   gridsim mc        [--scenario GLOB] [--max-execs N] [--ranks-cap K]
-//                     [--seed N] [--out DIR] [--list]
+//                     [--seed N] [--out DIR] [--no-hb] [--list]
+//   gridsim lint      [--scenario GLOB] [--seed N] [--max-findings N]
+//                     [--json OUT] [--list]
 //   gridsim replay    --witness FILE [--reps N]
 //
 // Every subcommand parses its flags through the typed OptionParser
@@ -45,6 +47,15 @@
 // interleaving deadlocks or changes the scenario's result digest. A found
 // deadlock is minimized and written as a witness file that `replay`
 // reproduces deterministically. Writes MC.json (schema "gridsim-mc/1").
+// --no-hb disables the happens-before persistent-set reduction (simlint).
+//
+// `lint` is the happens-before communication-race analyzer (simlint,
+// docs/race-detection.md): it runs each matched scenario once with
+// comm-event recording, attaches vector clocks, and reports
+// wildcard-receive races (R1, both racing send sites named),
+// causally-dependent sends (R2) and resource leaks / tag conflicts (R3).
+// Exits non-zero unless every scenario is "clean" or "expected-races".
+// --json writes a consolidated "gridsim-lint/1" report.
 //
 // Implementations: TCP, MPICH2, GridMPI, MPICH-Madeleine, OpenMPI,
 // MPICH-G2.
@@ -67,6 +78,7 @@
 #include "harness/report.hpp"
 #include "profiles/profiles.hpp"
 #include "scenarios/catalog.hpp"
+#include "simlint/lint.hpp"
 #include "simmc/mc.hpp"
 #include "tools/cli.hpp"
 
@@ -496,7 +508,7 @@ int cmd_mc(int argc, char** argv) {
   std::string filter = "mc/*", out_dir = ".";
   int max_execs = 64, ranks_cap = 8, minimize_budget = 32;
   std::uint64_t seed = 1;
-  bool list = false;
+  bool list = false, no_hb = false;
   OptionParser parser(
       "mc",
       "DPOR-lite ordering model-checker: explore every legal wildcard\n"
@@ -513,6 +525,8 @@ int cmd_mc(int argc, char** argv) {
       .u64_opt("seed", &seed, "scenario seed used for every execution")
       .string_opt("out", &out_dir,
                   "output directory for MC.json and witness files")
+      .flag("no-hb", &no_hb,
+            "disable the happens-before persistent-set reduction")
       .flag("list", &list, "list matching scenarios and exit");
   int status = 0;
   if (!parse_or_exit(parser, argc, argv, &status)) return status;
@@ -540,6 +554,7 @@ int cmd_mc(int argc, char** argv) {
   mc_options.max_execs = max_execs;
   mc_options.seed = seed;
   mc_options.minimize_budget = minimize_budget;
+  mc_options.hb_sets = !no_hb;
 
   std::vector<simmc::McReport> reports;
   std::size_t done = 0;
@@ -572,9 +587,9 @@ int cmd_mc(int argc, char** argv) {
       }
     }
     std::printf("[%3zu/%zu] %-40s %-17s execs=%-4d races=%-2d pruned=%-3d "
-                "%s\n",
+                "hb_pruned=%-3d %s\n",
                 done, selected.size(), spec.name.c_str(), rep.status.c_str(),
-                rep.executions, rep.race_points, rep.pruned,
+                rep.executions, rep.race_points, rep.pruned, rep.hb_pruned,
                 rep.detail.c_str());
     std::fflush(stdout);
     reports.push_back(std::move(rep));
@@ -591,6 +606,95 @@ int cmd_mc(int argc, char** argv) {
     if (!rep.ok()) ++failures;
   std::printf("mc: %zu scenarios, %zu failed; wrote %s\n", reports.size(),
               failures, json_path.c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_lint(int argc, char** argv) {
+  std::string filter = "*", out_path;
+  std::uint64_t seed = 1;
+  int max_findings = 16;
+  bool list = false;
+  OptionParser parser(
+      "lint",
+      "Happens-before communication-race analyzer: run each matched\n"
+      "scenario once with comm-event recording, attach vector clocks, and\n"
+      "report wildcard-receive races (R1), causally-dependent sends (R2)\n"
+      "and resource leaks / tag conflicts (R3). Exits non-zero unless\n"
+      "every scenario is 'clean' or 'expected-races'.");
+  parser.string_opt("scenario", &filter,
+                    "glob over scenario names and groups (default '*')")
+      .u64_opt("seed", &seed, "scenario seed for the analyzed run")
+      .int_opt("max-findings", &max_findings,
+               "findings reported per scenario (counters stay exact)")
+      .string_opt("json", &out_path,
+                  "write a consolidated gridsim-lint/1 report to this path")
+      .flag("list", &list, "list matching scenarios and exit");
+  int status = 0;
+  if (!parse_or_exit(parser, argc, argv, &status)) return status;
+
+  const auto& registry = scenarios::paper_registry();
+  const auto selected = registry.match(filter);
+  if (selected.empty()) {
+    std::fprintf(stderr, "no scenario matches '%s'\n", filter.c_str());
+    return 2;
+  }
+  if (list) {
+    for (std::size_t idx : selected) {
+      const auto& spec = registry.scenarios()[idx];
+      std::printf("%-40s %s%s\n", spec.name.c_str(),
+                  spec.races_expected ? "[races-expected] " : "",
+                  spec.description.c_str());
+    }
+    std::printf("%zu scenarios\n", selected.size());
+    return 0;
+  }
+
+  std::vector<simlint::ScenarioLintEntry> entries;
+  std::size_t done = 0, failures = 0;
+  for (std::size_t idx : selected) {
+    const auto& spec = registry.scenarios()[idx];
+    ++done;
+    simlint::ScenarioLintEntry entry;
+    entry.name = spec.name;
+    entry.group = spec.group;
+    mpi::CommLog comm_log;
+    try {
+      const mpi::ScopedCommLog scope(&comm_log);
+      harness::ScenarioContext ctx;
+      ctx.seed = seed;
+      (void)spec.run(ctx);
+      entry.lint = simlint::analyze(
+          comm_log, static_cast<std::size_t>(std::max(0, max_findings)));
+      entry.status = simlint::lint_status(entry.lint, spec.races_expected);
+    } catch (const std::exception& e) {
+      entry.status = "error";
+      entry.error = e.what();
+    }
+    if (!simlint::lint_status_ok(entry.status)) ++failures;
+    std::printf("[%3zu/%zu] %-40s %-15s races=%-2d causal=%-2d leaks=%-2d "
+                "hb_edges=%llu\n",
+                done, selected.size(), spec.name.c_str(),
+                entry.status.c_str(), entry.lint.races,
+                entry.lint.causal_sends, entry.lint.leaks,
+                static_cast<unsigned long long>(entry.lint.hb_edges));
+    for (const auto& finding : entry.lint.findings)
+      std::printf("    [%s] %s: %s\n", finding.severity.c_str(),
+                  finding.rule.c_str(), finding.message.c_str());
+    if (!entry.error.empty())
+      std::printf("    error: %s\n", entry.error.c_str());
+    std::fflush(stdout);
+    entries.push_back(std::move(entry));
+  }
+
+  if (!out_path.empty()) {
+    if (!simlint::write_lint_json(out_path, filter, seed, entries)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("lint: wrote %s\n", out_path.c_str());
+  }
+  std::printf("lint: %zu scenarios, %zu with unexpected races/leaks\n",
+              entries.size(), failures);
   return failures == 0 ? 0 : 1;
 }
 
@@ -676,6 +780,7 @@ int usage() {
       "  bench      engine micro-benchmarks -> BENCH_*.json\n"
       "  campaign   parallel experiment campaign -> CAMPAIGN.json\n"
       "  mc         ordering model-checker over wildcard matches -> MC.json\n"
+      "  lint       happens-before communication-race analyzer\n"
       "  replay     re-execute a model-checker deadlock witness\n"
       "run 'gridsim <command> --help' for the command's options\n");
   return 2;
@@ -699,6 +804,7 @@ int main(int argc, char** argv) {
     if (command == "bench") return cmd_bench(opt_argc, opt_argv);
     if (command == "campaign") return cmd_campaign(opt_argc, opt_argv);
     if (command == "mc") return cmd_mc(opt_argc, opt_argv);
+    if (command == "lint") return cmd_lint(opt_argc, opt_argv);
     if (command == "replay") return cmd_replay(opt_argc, opt_argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

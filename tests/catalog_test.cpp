@@ -142,6 +142,8 @@ const std::vector<std::string>& expected_names() {
     "mc/is-MPICH2",
     "mc/is-GridMPI",
     "mc/deadlock-fixture",
+    "lint/wildcard-race",
+    "lint/scripted-order",
   };
   return names;
 }
@@ -194,6 +196,27 @@ TEST(Catalog, McScenariosDeclareSmallRankCounts) {
     EXPECT_GT(spec.ranks, 0) << spec.name;
     EXPECT_LE(spec.ranks, 4) << spec.name;
   }
+}
+
+TEST(Catalog, RacesExpectedCoversExactlyTheWildcardWorkloads) {
+  // The declaration gates `gridsim lint`'s verdict ("expected-races" vs a
+  // failing "races"), so it is pinned like the names: only workloads whose
+  // wildcard races are the design (master/worker self-scheduling, the mc
+  // racing fixtures) may carry it.
+  const auto& reg = paper_registry();
+  std::set<std::string> declared;
+  for (const auto& spec : reg.scenarios())
+    if (spec.races_expected) declared.insert(spec.name);
+  const std::set<std::string> expected = {
+      "mc/pingpong-wild-MPICH2", "mc/pingpong-wild-GridMPI",
+      "mc/deadlock-fixture",     "table6/master-nancy",
+      "table6/master-rennes",    "table6/master-sophia",
+      "table6/master-toulouse",  "table7/master-nancy",
+      "table7/master-rennes",    "table7/master-sophia",
+      "table7/master-toulouse",  "robust/flap-ray2mesh",
+      "lint/wildcard-race",
+  };
+  EXPECT_EQ(declared, expected);
 }
 
 TEST(Catalog, EverySpecIsWellFormed) {

@@ -1,0 +1,248 @@
+// Tests for the happens-before communication-race analyzer
+// (simlint/lint.hpp): vector-clock construction over synthetic comm
+// traces, the R1/R2/R3 rule engine over real engine runs, the catalog
+// fixture verdicts (the racy wildcard workload and its race-free twin),
+// and the gridsim-lint/1 report writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/scenario.hpp"
+#include "mpi/comm_log.hpp"
+#include "mpi/message.hpp"
+#include "mpi/mpi.hpp"
+#include "profiles/profiles.hpp"
+#include "scenarios/catalog.hpp"
+#include "simcore/check.hpp"
+#include "simcore/simulation.hpp"
+#include "simlint/lint.hpp"
+#include "topology/grid5000.hpp"
+
+namespace gridsim::simlint {
+namespace {
+
+using mpi::CommEvent;
+using mpi::CommEventKind;
+
+/// Runs a registered scenario once with comm-event recording, like
+/// `gridsim lint` does, and returns the analysis.
+LintSummary lint_scenario(const harness::ScenarioSpec& spec) {
+  mpi::CommLog log;
+  {
+    const mpi::ScopedCommLog scope(&log);
+    harness::ScenarioContext ctx;
+    (void)spec.run(ctx);
+  }
+  return analyze(log, 64);
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks over synthetic traces
+// ---------------------------------------------------------------------------
+
+TEST(LintClocks, MatchEdgeOrdersSendsAcrossRanks) {
+  mpi::JobCommTrace trace;
+  trace.nranks = 2;
+  using K = CommEventKind;
+  // rank 0 sends (site 0); rank 1 matches it, then sends back (site 0).
+  trace.events.push_back(
+      {K::kSendPost, /*rank=*/0, /*peer=*/1, /*tag=*/1, 0, 0, /*site=*/0});
+  trace.events.push_back({K::kRecvPost, 1, -1, 0, /*want_src=*/0,
+                          /*want_tag=*/1, /*site=*/0});
+  trace.events.push_back({K::kRecvMatch, 1, /*peer=*/0, 1, 0, 1, /*site=*/0,
+                          /*peer_site=*/0});
+  trace.events.push_back({K::kSendPost, 1, /*peer=*/0, /*tag=*/2, 0, 0,
+                          /*site=*/0});
+
+  const JobLint lint = analyze_job(trace, 64);
+  EXPECT_EQ(lint.hb_edges, 1u);
+  // rank 0's send happens-before rank 1's reply...
+  EXPECT_EQ(lint.send_order(0, 0, 1, 0), 1);
+  // ...and symmetrically the reply is after it.
+  EXPECT_EQ(lint.send_order(1, 0, 0, 0), -1);
+  // An unknown site is reported as such, not guessed.
+  EXPECT_EQ(lint.send_order(0, 5, 1, 0), -2);
+}
+
+TEST(LintClocks, UnrelatedSendsAreConcurrent) {
+  mpi::JobCommTrace trace;
+  trace.nranks = 3;
+  using K = CommEventKind;
+  trace.events.push_back({K::kSendPost, 1, 0, 1, 0, 0, /*site=*/0});
+  trace.events.push_back({K::kSendPost, 2, 0, 1, 0, 0, /*site=*/0});
+  const JobLint lint = analyze_job(trace, 64);
+  EXPECT_EQ(lint.hb_edges, 0u);
+  EXPECT_EQ(lint.send_order(1, 0, 2, 0), 0);
+}
+
+TEST(LintClocks, RendezvousCtsAndDataEdgesAreJoined) {
+  mpi::JobCommTrace trace;
+  trace.nranks = 2;
+  using K = CommEventKind;
+  const std::uint64_t seq = 7;
+  // Full rendez-vous: RTS arrives (match), receiver grants CTS, sender
+  // resumes, payload lands. Three cross-rank edges.
+  trace.events.push_back({K::kSendPost, 0, 1, 3, 0, 0, 0, -1, 1e6});
+  trace.events.push_back({K::kRecvPost, 1, -1, 0, 0, 3, 0});
+  trace.events.push_back({K::kRecvMatch, 1, 0, 3, 0, 3, 0, 0, 1e6, seq});
+  trace.events.push_back({K::kRecvCts, 1, 0, 3, 0, 0, 0, -1, 0, seq});
+  trace.events.push_back({K::kSendCts, 0, 1, 3, 0, 0, 0, -1, 1e6, seq});
+  trace.events.push_back({K::kRecvData, 1, 0, 3, 0, 0, 0, 0, 1e6, seq});
+  const JobLint lint = analyze_job(trace, 64);
+  EXPECT_EQ(lint.hb_edges, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Rules over real engine runs
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, UnmatchedSendAtFinalizeIsALeak) {
+  mpi::CommLog log;
+  {
+    const mpi::ScopedCommLog scope(&log);
+    Simulation sim;
+    topo::Grid grid(sim, topo::GridSpec::rennes_nancy(2));
+    {
+      mpi::Job job(grid, mpi::block_placement(grid, 2), profiles::mpich2(),
+                   tcp::KernelTunables::grid_tuned());
+      job.launch([](mpi::Rank& r) -> Task<void> {
+        if (r.rank() == 1) co_await r.send(0, 512, /*tag=*/9);
+        co_return;  // rank 0 never posts the receive
+      });
+      sim.run();
+    }
+  }
+  const LintSummary lint = analyze(log, 64);
+  EXPECT_EQ(lint.leaks, 1);
+  EXPECT_EQ(lint_status(lint, false), "leaks");
+  EXPECT_FALSE(lint_status_ok("leaks"));
+  ASSERT_FALSE(lint.findings.empty());
+  EXPECT_EQ(lint.findings.front().rule, "R3-unmatched-send");
+  EXPECT_NE(lint.findings.front().message.find("rank 1 send#0"),
+            std::string::npos)
+      << lint.findings.front().message;
+}
+
+TEST(LintRules, UnmatchedPostedReceiveIsALeak) {
+  mpi::CommLog log;
+  {
+    const mpi::ScopedCommLog scope(&log);
+    // The starved receive deadlocks the simulation; the abandoned
+    // coroutine frames are the scenario's point.
+    [[maybe_unused]] ScopedLeakExemption leak_exemption;
+    Simulation sim;
+    topo::Grid grid(sim, topo::GridSpec::rennes_nancy(2));
+    bool deadlocked = false;
+    try {
+      mpi::Job job(grid, mpi::block_placement(grid, 2), profiles::mpich2(),
+                   tcp::KernelTunables::grid_tuned());
+      job.launch([](mpi::Rank& r) -> Task<void> {
+        if (r.rank() == 0) (void)co_await r.recv(1, /*tag=*/5);
+        co_return;  // rank 1 never sends
+      });
+      sim.run();
+    } catch (const DeadlockError&) {
+      deadlocked = true;
+    }
+    ASSERT_TRUE(deadlocked);
+  }
+  const LintSummary lint = analyze(log, 64);
+  EXPECT_GE(lint.leaks, 1);
+  EXPECT_EQ(lint_status(lint, false), "leaks");
+  bool found = false;
+  for (const Finding& f : lint.findings)
+    if (f.rule == "R3-unmatched-recv") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(LintRules, WildcardTagCapturingCollectiveTrafficIsAConflict) {
+  mpi::JobCommTrace trace;
+  trace.nranks = 2;
+  using K = CommEventKind;
+  const int coll_tag = mpi::kCollectiveTagBase;
+  trace.events.push_back(
+      {K::kSendPost, 0, 1, coll_tag, 0, 0, /*site=*/0});
+  trace.events.push_back({K::kRecvPost, 1, -1, 0, mpi::kAnySource,
+                          mpi::kAnyTag, /*site=*/0});
+  trace.events.push_back({K::kRecvMatch, 1, 0, coll_tag, mpi::kAnySource,
+                          mpi::kAnyTag, /*site=*/0, /*peer_site=*/0});
+  const JobLint lint = analyze_job(trace, 64);
+  EXPECT_EQ(lint.leaks, 1);
+  ASSERT_FALSE(lint.findings.empty());
+  EXPECT_EQ(lint.findings.front().rule, "R3-tag-conflict");
+}
+
+// ---------------------------------------------------------------------------
+// Catalog fixtures: the verdict boundary from both sides
+// ---------------------------------------------------------------------------
+
+TEST(LintCatalog, WildcardRaceFixtureFiresR1NamingBothSites) {
+  const auto* spec = scenarios::paper_registry().find("lint/wildcard-race");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_TRUE(spec->races_expected);
+  const LintSummary lint = lint_scenario(*spec);
+  EXPECT_EQ(lint.races, 1);
+  EXPECT_EQ(lint.leaks, 0);
+  EXPECT_EQ(lint_status(lint, spec->races_expected), "expected-races");
+  EXPECT_TRUE(lint_status_ok("expected-races"));
+  // Without the declaration the same analysis fails the scenario.
+  EXPECT_EQ(lint_status(lint, false), "races");
+  ASSERT_FALSE(lint.findings.empty());
+  const Finding& f = lint.findings.front();
+  EXPECT_EQ(f.rule, "R1-wildcard-race");
+  // Both racing send sites are named.
+  EXPECT_NE(f.message.find("rank 1 send#0"), std::string::npos)
+      << f.message;
+  EXPECT_NE(f.message.find("rank 2 send#0"), std::string::npos)
+      << f.message;
+}
+
+TEST(LintCatalog, ScriptedOrderTwinIsClean) {
+  const auto* spec = scenarios::paper_registry().find("lint/scripted-order");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_FALSE(spec->races_expected);
+  const LintSummary lint = lint_scenario(*spec);
+  EXPECT_EQ(lint.races, 0);
+  EXPECT_EQ(lint.causal_sends, 0);
+  EXPECT_EQ(lint.leaks, 0);
+  EXPECT_TRUE(lint.findings.empty());
+  EXPECT_EQ(lint_status(lint, false), "clean");
+  // The token adds a third cross-rank edge on top of the two matches.
+  EXPECT_GE(lint.hb_edges, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Report writer
+// ---------------------------------------------------------------------------
+
+TEST(LintReport, WritesTheLintJsonSchema) {
+  ScenarioLintEntry clean;
+  clean.name = "lint/scripted-order";
+  clean.group = "lint";
+  clean.status = "clean";
+  ScenarioLintEntry racy;
+  racy.name = "lint/wildcard-race";
+  racy.group = "lint";
+  racy.status = "races";
+  racy.lint.races = 1;
+  racy.lint.findings.push_back({"R1-wildcard-race", "warning", "a", "b",
+                                "a races b"});
+  const std::string path =
+      ::testing::TempDir() + "lint_report_test.json";
+  ASSERT_TRUE(write_lint_json(path, "lint/*", 1, {clean, racy}));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  std::remove(path.c_str());
+  EXPECT_NE(text.find("\"schema\": \"gridsim-lint/1\""), std::string::npos);
+  EXPECT_NE(text.find("\"failures\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"status\": \"clean\""), std::string::npos);
+  EXPECT_NE(text.find("\"rule\": \"R1-wildcard-race\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridsim::simlint
