@@ -21,6 +21,8 @@
 #include <deque>
 #include <vector>
 
+#include "mpi/message.hpp"
+
 namespace gridsim::mpi {
 
 enum class CommEventKind : std::uint8_t {
@@ -54,16 +56,29 @@ struct CommEvent {
 
 /// The event stream of one Job. Bounded: a runaway workload flips
 /// `truncated` instead of exhausting memory, and the analysis reports the
-/// truncation rather than pretending completeness.
+/// truncation rather than pretending completeness. Finalize-time
+/// leftovers (kUnmatchedSend/kUnmatchedRecv) survive the cap: one event
+/// per still-live pending operation, so recording them adds no asymptotic
+/// memory — and they are exactly what R3 leak detection must never lose.
+/// A dropped wildcard receive additionally flips `dropped_wildcard`,
+/// telling the analysis that the coverage only wildcard receives can
+/// trigger (R1/R2, tag conflicts) is incomplete.
 struct JobCommTrace {
   int nranks = 0;
-  bool truncated = false;
+  bool truncated = false;         ///< ordinary events were dropped
+  bool dropped_wildcard = false;  ///< a dropped event was a wildcard recv
   std::size_t max_events = std::size_t{1} << 21;
   std::vector<CommEvent> events;
 
   void push(const CommEvent& e) {
-    if (events.size() >= max_events) {
+    if (events.size() >= max_events &&
+        e.kind != CommEventKind::kUnmatchedSend &&
+        e.kind != CommEventKind::kUnmatchedRecv) {
       truncated = true;
+      if ((e.kind == CommEventKind::kRecvPost ||
+           e.kind == CommEventKind::kRecvMatch) &&
+          (e.want_src == kAnySource || e.want_tag == kAnyTag))
+        dropped_wildcard = true;
       return;
     }
     events.push_back(e);

@@ -65,7 +65,11 @@ struct JobLint {
   int races = 0;               ///< R1: distinct racing send pairs
   int causal_sends = 0;        ///< R2: sends HB-after a wildcard match
   int leaks = 0;               ///< R3: leaks + tag conflicts
-  bool truncated = false;      ///< event log or clock table hit its cap
+  /// Analysis incomplete: event recording hit its cap, or the clock table
+  /// was capped while wildcard receives are present (R1/R2 coverage lost).
+  /// R3 is clock-free and always scans the full recorded trace, so a
+  /// clock-capped wildcard-free job stays fully analyzed.
+  bool truncated = false;
   std::vector<Finding> findings;
 
   /// HB order of two send sites: 1 if a happens-before b, -1 if b
@@ -97,19 +101,23 @@ struct LintSummary {
   std::vector<Finding> findings;
   std::vector<JobLint> jobs;
 
-  /// True only if some job's trace proves send a happens-before send b.
-  /// Unknown sites report false — callers treating "not ordered" as
-  /// "racing" stay conservative (the model-checker keeps the branch).
+  /// True only if exactly one job's trace proves send a happens-before
+  /// send b. Site ids restart at 0 per Job, so a pair resolved by more
+  /// than one job is ambiguous; it reports false, like unknown sites —
+  /// callers treating "not ordered" as "racing" stay conservative (the
+  /// model-checker keeps the branch).
   bool send_happens_before(int rank_a, int site_a, int rank_b,
                            int site_b) const;
 };
 
 LintSummary analyze(const mpi::CommLog& log, std::size_t max_findings = 64);
 
-/// Scenario verdict for the lint report: "leaks" if R3 fired, "races" /
-/// "expected-races" (by `races_expected`, see ScenarioSpec) if R1 fired,
-/// else "clean". R2 notes never fail a scenario — they refine the
-/// model-checker's claim, not the scenario's.
+/// Scenario verdict for the lint report: "leaks" if R3 fired, "races" if
+/// R1 fired unexpectedly, "truncated" if a capped analysis would
+/// otherwise pass (dropped tail events could hide finalize leaks), else
+/// "expected-races" (by `races_expected`, see ScenarioSpec) or "clean".
+/// R2 notes never fail a scenario — they refine the model-checker's
+/// claim, not the scenario's.
 std::string lint_status(const LintSummary& lint, bool races_expected);
 /// Whether a status string counts as passing ("clean" | "expected-races").
 bool lint_status_ok(const std::string& status);

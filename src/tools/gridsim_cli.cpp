@@ -687,6 +687,11 @@ int cmd_lint(int argc, char** argv) {
   }
 
   if (!out_path.empty()) {
+    const auto parent = std::filesystem::path(out_path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);  // best effort; fopen
+    }
     if (!simlint::write_lint_json(out_path, filter, seed, entries)) {
       std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
       return 1;

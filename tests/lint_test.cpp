@@ -95,6 +95,37 @@ TEST(LintClocks, RendezvousCtsAndDataEdgesAreJoined) {
   EXPECT_EQ(lint.hb_edges, 3u);
 }
 
+TEST(LintClocks, MultiJobSitePairsStayConservative) {
+  // Site ids restart at 0 in every Job, so two jobs can resolve the same
+  // (rank, site) keys — here with opposite orders. The summary must not
+  // pick one: an ambiguous pair reports "not ordered" (the model-checker
+  // keeps the branch).
+  mpi::CommLog log;
+  using K = CommEventKind;
+  mpi::JobCommTrace* a = log.open_job(2);
+  a->push({K::kSendPost, 0, 1, 1, 0, 0, /*site=*/0});
+  a->push({K::kRecvMatch, 1, /*peer=*/0, 1, 0, 1, /*site=*/0,
+           /*peer_site=*/0});
+  a->push({K::kSendPost, 1, 0, 2, 0, 0, /*site=*/0});
+  a->push({K::kSendPost, 1, 0, 3, 0, 0, /*site=*/1});
+  mpi::JobCommTrace* b = log.open_job(2);
+  b->push({K::kSendPost, 1, 0, 1, 0, 0, /*site=*/0});
+  b->push({K::kRecvMatch, 0, /*peer=*/1, 1, 0, 1, /*site=*/0,
+           /*peer_site=*/0});
+  b->push({K::kSendPost, 0, 1, 2, 0, 0, /*site=*/0});
+
+  const LintSummary lint = analyze(log, 64);
+  ASSERT_EQ(lint.jobs.size(), 2u);
+  // Each job alone proves an order — and they disagree.
+  EXPECT_EQ(lint.jobs[0].send_order(0, 0, 1, 0), 1);
+  EXPECT_EQ(lint.jobs[1].send_order(0, 0, 1, 0), -1);
+  // The ambiguous pair stays unordered in both directions...
+  EXPECT_FALSE(lint.send_happens_before(0, 0, 1, 0));
+  EXPECT_FALSE(lint.send_happens_before(1, 0, 0, 0));
+  // ...while a pair only the first job knows still answers.
+  EXPECT_TRUE(lint.send_happens_before(0, 0, 1, 1));
+}
+
 // ---------------------------------------------------------------------------
 // Rules over real engine runs
 // ---------------------------------------------------------------------------
@@ -173,6 +204,74 @@ TEST(LintRules, WildcardTagCapturingCollectiveTrafficIsAConflict) {
   EXPECT_EQ(lint.leaks, 1);
   ASSERT_FALSE(lint.findings.empty());
   EXPECT_EQ(lint.findings.front().rule, "R3-tag-conflict");
+}
+
+TEST(LintRules, TruncatedAnalysisCannotClaimClean) {
+  // Tail events are dropped first when a trace hits its cap, and
+  // finalize-time R3 leaks live at the tail — a capped analysis that
+  // found nothing must not pass the gate.
+  LintSummary lint;
+  lint.truncated = true;
+  EXPECT_EQ(lint_status(lint, false), "truncated");
+  EXPECT_EQ(lint_status(lint, true), "truncated");
+  EXPECT_FALSE(lint_status_ok("truncated"));
+  // Findings that did survive keep their more specific verdicts.
+  lint.races = 1;
+  EXPECT_EQ(lint_status(lint, false), "races");
+  lint.leaks = 1;
+  EXPECT_EQ(lint_status(lint, false), "leaks");
+  // Expected races on a truncated trace still cannot pass.
+  lint.leaks = 0;
+  EXPECT_EQ(lint_status(lint, true), "truncated");
+}
+
+TEST(LintRules, CapsOnlyTruncateAnalysisWhereWildcardsAreInvolved) {
+  using K = CommEventKind;
+  // A capped recording with no wildcard receives anywhere stays fully
+  // analyzed: R3 is clock-free and finalize leftovers survive the cap,
+  // and R1/R2 have nothing to trigger on — the verdict may claim clean.
+  {
+    mpi::CommLog log;
+    mpi::JobCommTrace* job = log.open_job(2);
+    job->truncated = true;
+    job->push({K::kSendPost, 0, 1, 1, 0, 0, /*site=*/0});
+    EXPECT_FALSE(analyze(log, 64).truncated);
+  }
+  // A recorded wildcard receive on a capped trace: racing candidate
+  // sends may have been dropped, so the analysis is incomplete.
+  {
+    mpi::CommLog log;
+    mpi::JobCommTrace* job = log.open_job(2);
+    job->truncated = true;
+    job->push({K::kRecvPost, 0, -1, 0, mpi::kAnySource, 1, /*site=*/0});
+    EXPECT_TRUE(analyze(log, 64).truncated);
+  }
+  // A wildcard receive among the dropped events is flagged at recording
+  // time and makes the analysis incomplete even though no recorded
+  // event shows it.
+  {
+    mpi::CommLog log;
+    log.open_job(2)->dropped_wildcard = true;
+    EXPECT_TRUE(analyze(log, 64).truncated);
+  }
+  // Finalize leftovers bypass the recording cap, so R3 still fires on a
+  // saturated trace.
+  {
+    mpi::JobCommTrace trace;
+    trace.nranks = 2;
+    trace.max_events = 1;
+    trace.push({K::kSendPost, 0, 1, 1, 0, 0, /*site=*/0});
+    trace.push({K::kSendPost, 0, 1, 1, 0, 0, /*site=*/1});  // dropped
+    trace.push({K::kUnmatchedSend, /*rank=*/1, /*peer=*/0, 1, 0, 0, -1,
+                /*peer_site=*/0});
+    EXPECT_TRUE(trace.truncated);
+    ASSERT_EQ(trace.events.size(), 2u);
+    const JobLint lint = analyze_job(trace, 64);
+    EXPECT_EQ(lint.leaks, 1);
+    EXPECT_FALSE(lint.truncated);  // no wildcards: analysis is complete
+    ASSERT_FALSE(lint.findings.empty());
+    EXPECT_EQ(lint.findings.front().rule, "R3-unmatched-send");
+  }
 }
 
 // ---------------------------------------------------------------------------
