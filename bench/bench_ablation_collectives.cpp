@@ -1,11 +1,53 @@
 // Ablation: collective algorithm suites on the grid.
 //
 // Thin shim: the scenarios live in the catalog (src/scenarios/); this
-// binary selects the "ablation_collectives" group from the registry, runs it serially
-// and prints the rendered figure/table. `gridsim campaign --filter
-// 'ablation_collectives*'` runs the same cells concurrently with trace digests.
+// binary prints the algorithm registry and each implementation's selector
+// decision table (the same data as `gridsim coll --list`), then selects
+// the "ablation_collectives" group from the registry, runs it serially and
+// prints the rendered figure/table. `gridsim campaign --filter
+// 'ablation_collectives*'` runs the same cells concurrently with trace
+// digests.
+#include <cstdio>
+
+#include "collectives/registry.hpp"
+#include "collectives/selector.hpp"
+#include "profiles/profiles.hpp"
 #include "scenarios/catalog.hpp"
 
+namespace {
+
+using namespace gridsim;
+
+void print_decision_tables() {
+  const auto& registry = coll::AlgorithmRegistry::instance();
+  std::printf("registered bcast algorithms:");
+  for (const auto& a : registry.bcast())
+    std::printf(" %s%s", a.name.c_str(), a.wan_aware ? "*" : "");
+  std::printf("   allreduce:");
+  for (const auto& a : registry.allreduce())
+    std::printf(" %s%s", a.name.c_str(), a.wan_aware ? "*" : "");
+  std::printf("   (* = WAN-aware)\n");
+  for (const auto& impl : profiles::all_implementations()) {
+    std::printf("%-16s", impl.name.c_str());
+    for (auto op : {mpi::CollOp::kBcast, mpi::CollOp::kAllreduce}) {
+      std::printf("  %s:", mpi::to_string(op).c_str());
+      for (const auto& r :
+           coll::Selector::effective_rules(impl.collectives, op)) {
+        if (r.max_bytes < 1e18)
+          std::printf(" %s<=%.0fkB,", r.algo.c_str(), r.max_bytes / 1e3);
+        else
+          std::printf(" %s", r.algo.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
 int main() {
-  return gridsim::scenarios::run_and_print("ablation_collectives") == 0 ? 0 : 1;
+  print_decision_tables();
+  return gridsim::scenarios::run_and_print("ablation_collectives") == 0 ? 0
+                                                                        : 1;
 }

@@ -46,9 +46,25 @@ for doc in "${DOCS[@]}"; do
   done
 done
 
+# The coll/* group is documented separately (docs/collectives.md states
+# "<N> scenarios" for the group); keep that number honest too.
+COLL_ACTUAL=$("$BIN" campaign --list --filter 'coll/*' | grep -c '^coll/' || true)
+COLL_DOC=$(grep -oE '`coll/\*` catalog group \([0-9]+ scenarios' docs/collectives.md \
+           | grep -oE '[0-9]+' || true)
+if [[ -z "$COLL_DOC" ]]; then
+  echo "check_catalog_counts: docs/collectives.md no longer states the" \
+       "coll/* group size" >&2
+  STATUS=1
+elif [[ "$COLL_DOC" != "$COLL_ACTUAL" ]]; then
+  echo "check_catalog_counts: docs/collectives.md says the coll/* group has" \
+       "$COLL_DOC scenarios but the catalog registers $COLL_ACTUAL" >&2
+  STATUS=1
+fi
+
 if [[ "$STATUS" -ne 0 ]]; then
   echo "check_catalog_counts: FAILED (update the docs or the catalog)" >&2
 else
-  echo "check_catalog_counts: docs agree with the catalog ($ACTUAL scenarios)"
+  echo "check_catalog_counts: docs agree with the catalog ($ACTUAL scenarios," \
+       "coll group $COLL_ACTUAL)"
 fi
 exit "$STATUS"

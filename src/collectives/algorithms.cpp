@@ -1,0 +1,371 @@
+#include "collectives/algorithms.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gridsim::coll::algo {
+
+using mpi::Rank;
+
+Task<void> reduce_compute(Rank& r, double bytes) {
+  co_await r.compute(bytes / 1e9);
+}
+
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int index_in(const std::vector<int>& group, int rank) {
+  const auto it = std::find(group.begin(), group.end(), rank);
+  assert(it != group.end());
+  return static_cast<int>(it - group.begin());
+}
+
+std::vector<int> full_group(Rank& r) {
+  std::vector<int> g(static_cast<size_t>(r.size()));
+  for (int i = 0; i < r.size(); ++i) g[static_cast<size_t>(i)] = i;
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Group primitives. `group` lists global ranks; every member of the group
+// calls the function with identical arguments.
+// ---------------------------------------------------------------------------
+
+Task<void> group_bcast_binomial(Rank& r, const std::vector<int>& group,
+                                int root_idx, double bytes, int tag) {
+  const int p = static_cast<int>(group.size());
+  if (p <= 1) co_return;
+  const int me = index_in(group, r.rank());
+  const int rel = (me - root_idx + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      const int src = ((rel - mask) + root_idx) % p;
+      (void)co_await r.recv(group[static_cast<size_t>(src)], tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < p) {
+      const int dst = ((rel + mask) + root_idx) % p;
+      co_await r.send(group[static_cast<size_t>(dst)], bytes, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+Task<void> group_scatter_for_bcast(Rank& r, const std::vector<int>& group,
+                                   int root_idx, double total, int tag) {
+  const int p = static_cast<int>(group.size());
+  if (p <= 1) co_return;
+  const int me = index_in(group, r.rank());
+  const int rel = (me - root_idx + p) % p;
+  const double chunk = total / p;
+  int mask = 1;
+  if (rel != 0) {
+    while (mask < p) {
+      if (rel & mask) {
+        const int src = ((rel - mask) + root_idx) % p;
+        (void)co_await r.recv(group[static_cast<size_t>(src)], tag);
+        break;
+      }
+      mask <<= 1;
+    }
+  } else {
+    while (mask < p) mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < p) {
+      const int count = std::min(mask, p - (rel + mask));
+      const int dst = ((rel + mask) + root_idx) % p;
+      co_await r.send(group[static_cast<size_t>(dst)], count * chunk, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+Task<void> group_ring_allgather(Rank& r, const std::vector<int>& group,
+                                double chunk, int steps, int tag) {
+  const int p = static_cast<int>(group.size());
+  if (p <= 1 || steps <= 0) co_return;
+  const int me = index_in(group, r.rank());
+  const int right = group[static_cast<size_t>((me + 1) % p)];
+  const int left = group[static_cast<size_t>((me - 1 + p) % p)];
+  for (int s = 0; s < steps; ++s) {
+    mpi::Request req = r.isend(right, chunk, tag);
+    (void)co_await r.recv(left, tag);
+    (void)co_await r.wait(req);
+  }
+}
+
+Task<void> group_reduce_binomial(Rank& r, const std::vector<int>& group,
+                                 int root_idx, double bytes, int tag) {
+  const int p = static_cast<int>(group.size());
+  if (p <= 1) co_return;
+  const int me = index_in(group, r.rank());
+  const int rel = (me - root_idx + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      const int dst = ((rel - mask) + root_idx) % p;
+      co_await r.send(group[static_cast<size_t>(dst)], bytes, tag);
+      break;
+    }
+    if (rel + mask < p) {
+      const int src = ((rel + mask) + root_idx) % p;
+      (void)co_await r.recv(group[static_cast<size_t>(src)], tag);
+      co_await reduce_compute(r, bytes);
+    }
+    mask <<= 1;
+  }
+}
+
+Task<void> group_allreduce_recdbl(Rank& r, const std::vector<int>& group,
+                                  double bytes, int tag) {
+  const int p = static_cast<int>(group.size());
+  if (p <= 1) co_return;
+  const int me = index_in(group, r.rank());
+  if (!is_pow2(p)) {
+    // Fallback: binomial reduce to member 0 + binomial bcast.
+    co_await group_reduce_binomial(r, group, 0, bytes, tag);
+    co_await group_bcast_binomial(r, group, 0, bytes, tag);
+    co_return;
+  }
+  for (int mask = 1; mask < p; mask <<= 1) {
+    const int partner = group[static_cast<size_t>(me ^ mask)];
+    mpi::Request req = r.isend(partner, bytes, tag);
+    (void)co_await r.recv(partner, tag);
+    (void)co_await r.wait(req);
+    co_await reduce_compute(r, bytes);
+  }
+}
+
+Task<void> group_allreduce_rabenseifner(Rank& r, const std::vector<int>& group,
+                                        double bytes, int tag) {
+  const int p = static_cast<int>(group.size());
+  if (p <= 1) co_return;
+  if (!is_pow2(p)) {
+    co_await group_allreduce_recdbl(r, group, bytes, tag);
+    co_return;
+  }
+  const int me = index_in(group, r.rank());
+  // Reduce-scatter by recursive halving.
+  double size = bytes / 2;
+  for (int dist = p / 2; dist >= 1; dist /= 2) {
+    const int partner = group[static_cast<size_t>(me ^ dist)];
+    mpi::Request req = r.isend(partner, size, tag);
+    (void)co_await r.recv(partner, tag);
+    (void)co_await r.wait(req);
+    co_await reduce_compute(r, size);
+    size /= 2;
+  }
+  // Allgather by recursive doubling.
+  size = bytes / p;
+  for (int dist = 1; dist < p; dist *= 2) {
+    const int partner = group[static_cast<size_t>(me ^ dist)];
+    mpi::Request req = r.isend(partner, size, tag);
+    (void)co_await r.recv(partner, tag);
+    (void)co_await r.wait(req);
+    size *= 2;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Site grouping.
+// ---------------------------------------------------------------------------
+
+SiteGroups group_by_site(Rank& r) {
+  SiteGroups g;
+  auto& job = r.job();
+  std::vector<int> site_to_group;
+  g.group_of_rank.resize(static_cast<size_t>(job.size()));
+  for (int rk = 0; rk < job.size(); ++rk) {
+    const int site = job.grid().site_of(job.rank(rk).host());
+    if (site >= static_cast<int>(site_to_group.size()))
+      site_to_group.resize(static_cast<size_t>(site) + 1, -1);
+    if (site_to_group[static_cast<size_t>(site)] < 0) {
+      site_to_group[static_cast<size_t>(site)] =
+          static_cast<int>(g.members.size());
+      g.members.emplace_back();
+    }
+    const int grp = site_to_group[static_cast<size_t>(site)];
+    g.group_of_rank[static_cast<size_t>(rk)] = grp;
+    g.members[static_cast<size_t>(grp)].push_back(rk);
+  }
+  g.my_group = g.group_of_rank[static_cast<size_t>(r.rank())];
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-communicator algorithms.
+// ---------------------------------------------------------------------------
+
+Task<void> bcast_binomial(Rank& r, int root, double bytes, int tag) {
+  co_await group_bcast_binomial(r, full_group(r), root, bytes, tag);
+}
+
+Task<void> bcast_scatter_ring(Rank& r, int root, double bytes, int tag) {
+  std::vector<int> group = full_group(r);
+  co_await group_scatter_for_bcast(r, group, root, bytes, tag);
+  co_await group_ring_allgather(r, group, bytes / r.size(), r.size() - 1, tag);
+}
+
+Task<void> bcast_hierarchical(Rank& r, int root, double bytes, int tag) {
+  SiteGroups g = group_by_site(r);
+  const int root_grp = g.group_of_rank[static_cast<size_t>(root)];
+  const auto& home = g.members[static_cast<size_t>(root_grp)];
+  const int k = static_cast<int>(home.size());
+  const double chunk = bytes / k;
+  const int me = r.rank();
+
+  // Phase 1: intra-site scatter at the root site.
+  if (g.my_group == root_grp) {
+    co_await group_scatter_for_bcast(r, home, index_in(home, root), bytes,
+                                     tag);
+  }
+
+  // Phase 2: home member c streams its chunk to member c % m of every other
+  // site; all k WAN streams run simultaneously.
+  if (g.my_group == root_grp) {
+    const int c = index_in(home, me);
+    std::vector<mpi::Request> reqs;
+    for (int s = 0; s < static_cast<int>(g.members.size()); ++s) {
+      if (s == root_grp) continue;
+      const auto& remote = g.members[static_cast<size_t>(s)];
+      const int m = static_cast<int>(remote.size());
+      reqs.push_back(r.isend(remote[static_cast<size_t>(c % m)], chunk, tag));
+    }
+    co_await r.wait_all(std::move(reqs));
+  } else {
+    const auto& mine = g.members[static_cast<size_t>(g.my_group)];
+    const int m = static_cast<int>(mine.size());
+    const int my_idx = index_in(mine, me);
+    for (int c = 0; c < k; ++c) {
+      if (c % m == my_idx)
+        (void)co_await r.recv(home[static_cast<size_t>(c)], tag);
+    }
+  }
+
+  // Phase 3: every site reassembles the k chunks with an intra-site ring.
+  const auto& mine = g.members[static_cast<size_t>(g.my_group)];
+  co_await group_ring_allgather(r, mine, chunk, k - 1, tag);
+}
+
+Task<void> bcast_pipeline(Rank& r, int root, double bytes, int tag) {
+  // With k segments the last rank finishes after (p - 2 + k) segment hops;
+  // on a block-placed grid the chain crosses the WAN exactly once.
+  const std::vector<int> group = full_group(r);
+  const int p = static_cast<int>(group.size());
+  if (p <= 1) co_return;
+  constexpr int kSegments = 8;
+  const double seg = bytes / kSegments;
+  const int me = index_in(group, r.rank());
+  const int rel = (me - root + p) % p;
+  const int prev = group[static_cast<size_t>((me - 1 + p) % p)];
+  const int next = group[static_cast<size_t>((me + 1) % p)];
+  for (int s = 0; s < kSegments; ++s) {
+    if (rel != 0) (void)co_await r.recv(prev, tag);
+    if (rel != p - 1) co_await r.send(next, seg, tag);
+  }
+}
+
+Task<void> allreduce_recursive_doubling(Rank& r, double bytes, int tag) {
+  co_await group_allreduce_recdbl(r, full_group(r), bytes, tag);
+}
+
+Task<void> allreduce_rabenseifner(Rank& r, double bytes, int tag) {
+  co_await group_allreduce_rabenseifner(r, full_group(r), bytes, tag);
+}
+
+Task<void> allreduce_hierarchical(Rank& r, double bytes, int tag) {
+  SiteGroups g = group_by_site(r);
+  const auto& mine = g.members[static_cast<size_t>(g.my_group)];
+  co_await group_reduce_binomial(r, mine, 0, bytes, tag);
+  if (r.rank() == mine[0]) {
+    std::vector<int> leaders;
+    for (const auto& m : g.members) leaders.push_back(m[0]);
+    co_await group_allreduce_recdbl(r, leaders, bytes, tag);
+  }
+  co_await group_bcast_binomial(r, mine, 0, bytes, tag);
+}
+
+Task<void> alltoallv_pairwise(Rank& r, const std::vector<double>& send_bytes,
+                              int tag) {
+  const int p = r.size();
+  const int me = r.rank();
+  // Zero-sized entries still travel as empty messages so the peer's recv
+  // always has a match.
+  for (int s = 1; s < p; ++s) {
+    const int dst = (me + s) % p;
+    const int src = (me - s + p) % p;
+    mpi::Request req = r.isend(dst, send_bytes[static_cast<size_t>(dst)], tag);
+    (void)co_await r.recv(src, tag);
+    (void)co_await r.wait(req);
+  }
+}
+
+Task<void> alltoallv_ring(Rank& r, const std::vector<double>& send_bytes,
+                          int tag) {
+  // Only neighbour links are used; blocks are relayed hop by hop, so a
+  // block for distance d crosses d links. Modelled with uniform relaying:
+  // at step s each rank forwards the fraction of its total volume that
+  // still has further to travel. Cheap on a physical ring, wasteful when
+  // neighbours sit across a WAN.
+  const int p = r.size();
+  const int me = r.rank();
+  double total = 0;
+  for (double b : send_bytes) total += b;
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+  for (int s = 1; s < p; ++s) {
+    const double step_bytes = total * double(p - s) / double(p - 1);
+    mpi::Request req = r.isend(right, step_bytes, tag);
+    (void)co_await r.recv(left, tag);
+    (void)co_await r.wait(req);
+  }
+}
+
+Task<void> alltoallv_bruck(Rank& r, const std::vector<double>& send_bytes,
+                           int tag) {
+  // In round k every rank sends to (me + 2^k) the aggregate of all blocks
+  // whose relative destination has bit k set — about half the total volume
+  // per round, but only log2(p) latency hits. The classic choice for small
+  // payloads.
+  const int p = r.size();
+  const int me = r.rank();
+  double total = 0;
+  for (double b : send_bytes) total += b;
+  for (int k = 1; k < p; k <<= 1) {
+    const int dst = (me + k) % p;
+    const int src = (me - k + p) % p;
+    // Fraction of relative destinations 1..p-1 with bit k set.
+    int with_bit = 0;
+    for (int rel = 1; rel < p; ++rel)
+      if (rel & k) ++with_bit;
+    const double bytes = total * with_bit / std::max(1, p - 1);
+    mpi::Request req = r.isend(dst, bytes, tag);
+    (void)co_await r.recv(src, tag);
+    (void)co_await r.wait(req);
+  }
+}
+
+Task<void> barrier_dissemination(Rank& r, int tag) {
+  const int p = r.size();
+  const int me = r.rank();
+  for (int k = 1; k < p; k <<= 1) {
+    mpi::Request req = r.isend((me + k) % p, 1, tag);
+    (void)co_await r.recv((me - k + p) % p, tag);
+    (void)co_await r.wait(req);
+  }
+}
+
+Task<void> barrier_tree(Rank& r, int tag) {
+  const std::vector<int> group = full_group(r);
+  co_await group_reduce_binomial(r, group, 0, 1, tag);
+  co_await group_bcast_binomial(r, group, 0, 1, tag);
+}
+
+}  // namespace gridsim::coll::algo

@@ -1,0 +1,109 @@
+// Collective algorithm implementations — the building blocks behind the
+// registry (registry.hpp).
+//
+// This header is private to the collectives layer: consumers dispatch
+// through `coll::AlgorithmRegistry` entries (or the public entry points in
+// collectives.hpp), never by naming these functions directly. Two tiers
+// live here:
+//
+//  * group primitives (`group_*`): operate on an explicit member list of
+//    global ranks, so the hierarchical algorithms can run them per site or
+//    over the site leaders. Every member of `group` must call the function
+//    with identical arguments, and the caller keeps the vector alive across
+//    the co_await.
+//  * whole-communicator algorithms (flat signatures): what the registry
+//    entries point at. Pure algorithms with no size cutoffs — switching
+//    (e.g. binomial below 12 kB) is the selector's job (selector.hpp).
+#pragma once
+
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "simcore/task.hpp"
+
+namespace gridsim::coll::algo {
+
+/// Reduction arithmetic cost: combining two b-byte operands on a reference
+/// node streams at ~1 GB/s.
+Task<void> reduce_compute(mpi::Rank& r, double bytes);
+
+bool is_pow2(int v);
+
+/// Position of `rank` inside `group`; asserts membership.
+int index_in(const std::vector<int>& group, int rank);
+
+/// The whole communicator, 0..size()-1.
+std::vector<int> full_group(mpi::Rank& r);
+
+// --- group primitives ------------------------------------------------------
+
+Task<void> group_bcast_binomial(mpi::Rank& r, const std::vector<int>& group,
+                                int root_idx, double bytes, int tag);
+
+/// Binomial scatter leaving each group member with bytes/p (van de Geijn
+/// phase 1). Chunk counts follow the MPICH subtree rule.
+Task<void> group_scatter_for_bcast(mpi::Rank& r, const std::vector<int>& group,
+                                   int root_idx, double total, int tag);
+
+/// Ring allgather of one `chunk`-sized block per member, `steps` rounds.
+Task<void> group_ring_allgather(mpi::Rank& r, const std::vector<int>& group,
+                                double chunk, int steps, int tag);
+
+Task<void> group_reduce_binomial(mpi::Rank& r, const std::vector<int>& group,
+                                 int root_idx, double bytes, int tag);
+
+/// Recursive doubling; non-power-of-two groups fall back to binomial
+/// reduce + binomial bcast through member 0.
+Task<void> group_allreduce_recdbl(mpi::Rank& r, const std::vector<int>& group,
+                                  double bytes, int tag);
+
+/// Reduce-scatter by recursive halving + allgather by recursive doubling;
+/// non-power-of-two groups fall back to recursive doubling.
+Task<void> group_allreduce_rabenseifner(mpi::Rank& r,
+                                        const std::vector<int>& group,
+                                        double bytes, int tag);
+
+// --- site grouping for topology-aware algorithms ---------------------------
+
+struct SiteGroups {
+  std::vector<std::vector<int>> members;  ///< per represented site, by rank
+  int my_group = -1;
+  std::vector<int> group_of_rank;
+};
+
+SiteGroups group_by_site(mpi::Rank& r);
+
+// --- whole-communicator algorithms (registry entry points) -----------------
+
+Task<void> bcast_binomial(mpi::Rank& r, int root, double bytes, int tag);
+/// WAN-oblivious van de Geijn: binomial scatter + rank-ordered ring
+/// allgather. On a block-placed grid job the ring repeatedly hands chunks
+/// across the WAN: p-1 latency-bound steps.
+Task<void> bcast_scatter_ring(mpi::Rank& r, int root, double bytes, int tag);
+/// Root site scatters, chunks cross the WAN on parallel node-to-node
+/// connections, remote sites reassemble with an intra-site ring.
+Task<void> bcast_hierarchical(mpi::Rank& r, int root, double bytes, int tag);
+/// Segmented chain broadcast: rank-ordered pipeline relative to the root.
+Task<void> bcast_pipeline(mpi::Rank& r, int root, double bytes, int tag);
+
+Task<void> allreduce_recursive_doubling(mpi::Rank& r, double bytes, int tag);
+Task<void> allreduce_rabenseifner(mpi::Rank& r, double bytes, int tag);
+/// Per-site reduce, exchange among site leaders, per-site bcast.
+Task<void> allreduce_hierarchical(mpi::Rank& r, double bytes, int tag);
+
+/// Pairwise exchange: step s pairs me with me+s (send) and me-s (recv).
+Task<void> alltoallv_pairwise(mpi::Rank& r,
+                              const std::vector<double>& send_bytes, int tag);
+/// Neighbour-only relaying ring (see collectives.hpp commentary).
+Task<void> alltoallv_ring(mpi::Rank& r, const std::vector<double>& send_bytes,
+                          int tag);
+/// Bruck: ceil(log2 p) rounds of aggregated blocks.
+Task<void> alltoallv_bruck(mpi::Rank& r, const std::vector<double>& send_bytes,
+                           int tag);
+
+/// Dissemination barrier: ceil(log2 p) rounds of 1-byte messages.
+Task<void> barrier_dissemination(mpi::Rank& r, int tag);
+/// Binomial reduce + binomial broadcast of a 1-byte token.
+Task<void> barrier_tree(mpi::Rank& r, int tag);
+
+}  // namespace gridsim::coll::algo

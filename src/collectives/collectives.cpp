@@ -1,383 +1,85 @@
 #include "collectives/collectives.hpp"
 
 #include <algorithm>
-#include <cassert>
-#include <cmath>
+#include <stdexcept>
+
+#include "collectives/algorithms.hpp"
+#include "collectives/registry.hpp"
+#include "collectives/selector.hpp"
 
 namespace gridsim::coll {
 
 namespace {
 
+using mpi::CollOp;
 using mpi::Rank;
 
-/// Reduction arithmetic cost: combining two b-byte operands on a reference
-/// node streams at ~1 GB/s.
-Task<void> reduce_compute(Rank& r, double bytes) {
-  co_await r.compute(bytes / 1e9);
+/// Sites are only counted when a custom rule actually discriminates on
+/// topology — the default tables never do, so the historic hot path stays
+/// free of the O(p) site scan.
+int sites_for(Rank& r, const mpi::CollectiveSuite& suite, CollOp op) {
+  return Selector::needs_sites(suite, op) ? site_count(r.job()) : 1;
 }
 
-bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
-
-int index_in(const std::vector<int>& group, int rank) {
-  const auto it = std::find(group.begin(), group.end(), rank);
-  assert(it != group.end());
-  return static_cast<int>(it - group.begin());
+[[noreturn]] void unknown_algorithm(const char* op, const std::string& name) {
+  throw std::invalid_argument(std::string(op) +
+                              ": selector rule names unknown algorithm '" +
+                              name + "'");
 }
-
-// ---------------------------------------------------------------------------
-// Group-based building blocks. `group` lists global ranks; every member of
-// the group calls the function with identical arguments.
-// ---------------------------------------------------------------------------
-
-Task<void> g_bcast_binomial(Rank& r, const std::vector<int>& group,
-                            int root_idx, double bytes, int tag) {
-  const int p = static_cast<int>(group.size());
-  if (p <= 1) co_return;
-  const int me = index_in(group, r.rank());
-  const int rel = (me - root_idx + p) % p;
-  int mask = 1;
-  while (mask < p) {
-    if (rel & mask) {
-      const int src = ((rel - mask) + root_idx) % p;
-      (void)co_await r.recv(group[static_cast<size_t>(src)], tag);
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (rel + mask < p) {
-      const int dst = ((rel + mask) + root_idx) % p;
-      co_await r.send(group[static_cast<size_t>(dst)], bytes, tag);
-    }
-    mask >>= 1;
-  }
-}
-
-/// Binomial scatter leaving each group member with bytes/p (van de Geijn
-/// phase 1). Chunk counts follow the MPICH subtree rule.
-Task<void> g_scatter_for_bcast(Rank& r, const std::vector<int>& group,
-                               int root_idx, double total, int tag) {
-  const int p = static_cast<int>(group.size());
-  if (p <= 1) co_return;
-  const int me = index_in(group, r.rank());
-  const int rel = (me - root_idx + p) % p;
-  const double chunk = total / p;
-  int mask = 1;
-  if (rel != 0) {
-    while (mask < p) {
-      if (rel & mask) {
-        const int src = ((rel - mask) + root_idx) % p;
-        (void)co_await r.recv(group[static_cast<size_t>(src)], tag);
-        break;
-      }
-      mask <<= 1;
-    }
-  } else {
-    while (mask < p) mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (rel + mask < p) {
-      const int count = std::min(mask, p - (rel + mask));
-      const int dst = ((rel + mask) + root_idx) % p;
-      co_await r.send(group[static_cast<size_t>(dst)], count * chunk, tag);
-    }
-    mask >>= 1;
-  }
-}
-
-/// Ring allgather of one `chunk`-sized block per member, `steps` rounds.
-Task<void> g_ring_allgather(Rank& r, const std::vector<int>& group,
-                            double chunk, int steps, int tag) {
-  const int p = static_cast<int>(group.size());
-  if (p <= 1 || steps <= 0) co_return;
-  const int me = index_in(group, r.rank());
-  const int right = group[static_cast<size_t>((me + 1) % p)];
-  const int left = group[static_cast<size_t>((me - 1 + p) % p)];
-  for (int s = 0; s < steps; ++s) {
-    mpi::Request req = r.isend(right, chunk, tag);
-    (void)co_await r.recv(left, tag);
-    (void)co_await r.wait(req);
-  }
-}
-
-Task<void> g_reduce_binomial(Rank& r, const std::vector<int>& group,
-                             int root_idx, double bytes, int tag) {
-  const int p = static_cast<int>(group.size());
-  if (p <= 1) co_return;
-  const int me = index_in(group, r.rank());
-  const int rel = (me - root_idx + p) % p;
-  int mask = 1;
-  while (mask < p) {
-    if (rel & mask) {
-      const int dst = ((rel - mask) + root_idx) % p;
-      co_await r.send(group[static_cast<size_t>(dst)], bytes, tag);
-      break;
-    }
-    if (rel + mask < p) {
-      const int src = ((rel + mask) + root_idx) % p;
-      (void)co_await r.recv(group[static_cast<size_t>(src)], tag);
-      co_await reduce_compute(r, bytes);
-    }
-    mask <<= 1;
-  }
-}
-
-Task<void> g_allreduce_recdbl(Rank& r, const std::vector<int>& group,
-                              double bytes, int tag) {
-  const int p = static_cast<int>(group.size());
-  if (p <= 1) co_return;
-  const int me = index_in(group, r.rank());
-  if (!is_pow2(p)) {
-    // Fallback: binomial reduce to member 0 + binomial bcast.
-    co_await g_reduce_binomial(r, group, 0, bytes, tag);
-    co_await g_bcast_binomial(r, group, 0, bytes, tag);
-    co_return;
-  }
-  for (int mask = 1; mask < p; mask <<= 1) {
-    const int partner = group[static_cast<size_t>(me ^ mask)];
-    mpi::Request req = r.isend(partner, bytes, tag);
-    (void)co_await r.recv(partner, tag);
-    (void)co_await r.wait(req);
-    co_await reduce_compute(r, bytes);
-  }
-}
-
-Task<void> g_allreduce_rabenseifner(Rank& r, const std::vector<int>& group,
-                                    double bytes, int tag) {
-  const int p = static_cast<int>(group.size());
-  if (p <= 1) co_return;
-  if (!is_pow2(p)) {
-    co_await g_allreduce_recdbl(r, group, bytes, tag);
-    co_return;
-  }
-  const int me = index_in(group, r.rank());
-  // Reduce-scatter by recursive halving.
-  double size = bytes / 2;
-  for (int dist = p / 2; dist >= 1; dist /= 2) {
-    const int partner = group[static_cast<size_t>(me ^ dist)];
-    mpi::Request req = r.isend(partner, size, tag);
-    (void)co_await r.recv(partner, tag);
-    (void)co_await r.wait(req);
-    co_await reduce_compute(r, size);
-    size /= 2;
-  }
-  // Allgather by recursive doubling.
-  size = bytes / p;
-  for (int dist = 1; dist < p; dist *= 2) {
-    const int partner = group[static_cast<size_t>(me ^ dist)];
-    mpi::Request req = r.isend(partner, size, tag);
-    (void)co_await r.recv(partner, tag);
-    (void)co_await r.wait(req);
-    size *= 2;
-  }
-}
-
-/// Segmented chain broadcast: rank-ordered pipeline relative to the root.
-/// With k segments the last rank finishes after (p - 2 + k) segment hops;
-/// on a block-placed grid the chain crosses the WAN exactly once.
-Task<void> g_bcast_pipeline(Rank& r, const std::vector<int>& group,
-                            int root_idx, double bytes, int tag) {
-  const int p = static_cast<int>(group.size());
-  if (p <= 1) co_return;
-  constexpr int kSegments = 8;
-  const double seg = bytes / kSegments;
-  const int me = index_in(group, r.rank());
-  const int rel = (me - root_idx + p) % p;
-  const int prev = group[static_cast<size_t>((me - 1 + p) % p)];
-  const int next = group[static_cast<size_t>((me + 1) % p)];
-  for (int s = 0; s < kSegments; ++s) {
-    if (rel != 0) (void)co_await r.recv(prev, tag);
-    if (rel != p - 1) co_await r.send(next, seg, tag);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Site grouping for topology-aware algorithms.
-// ---------------------------------------------------------------------------
-
-struct SiteGroups {
-  std::vector<std::vector<int>> members;  ///< per represented site, by rank
-  int my_group = -1;
-  std::vector<int> group_of_rank;
-};
-
-SiteGroups group_by_site(Rank& r) {
-  SiteGroups g;
-  auto& job = r.job();
-  std::vector<int> site_to_group;
-  g.group_of_rank.resize(static_cast<size_t>(job.size()));
-  for (int rk = 0; rk < job.size(); ++rk) {
-    const int site = job.grid().site_of(job.rank(rk).host());
-    if (site >= static_cast<int>(site_to_group.size()))
-      site_to_group.resize(static_cast<size_t>(site) + 1, -1);
-    if (site_to_group[static_cast<size_t>(site)] < 0) {
-      site_to_group[static_cast<size_t>(site)] =
-          static_cast<int>(g.members.size());
-      g.members.emplace_back();
-    }
-    const int grp = site_to_group[static_cast<size_t>(site)];
-    g.group_of_rank[static_cast<size_t>(rk)] = grp;
-    g.members[static_cast<size_t>(grp)].push_back(rk);
-  }
-  g.my_group = g.group_of_rank[static_cast<size_t>(r.rank())];
-  return g;
-}
-
-// ---------------------------------------------------------------------------
-// Hierarchical (GridMPI) algorithms.
-// ---------------------------------------------------------------------------
-
-/// Root site scatters, chunks cross the WAN on parallel node-to-node
-/// connections, remote sites reassemble with an intra-site ring.
-Task<void> g_bcast_hier(Rank& r, int root, double bytes, int tag) {
-  SiteGroups g = group_by_site(r);
-  const int root_grp = g.group_of_rank[static_cast<size_t>(root)];
-  const auto& home = g.members[static_cast<size_t>(root_grp)];
-  const int k = static_cast<int>(home.size());
-  const double chunk = bytes / k;
-  const int me = r.rank();
-
-  // Phase 1: intra-site scatter at the root site.
-  if (g.my_group == root_grp) {
-    co_await g_scatter_for_bcast(r, home, index_in(home, root), bytes, tag);
-  }
-
-  // Phase 2: home member c streams its chunk to member c % m of every other
-  // site; all k WAN streams run simultaneously.
-  if (g.my_group == root_grp) {
-    const int c = index_in(home, me);
-    std::vector<mpi::Request> reqs;
-    for (int s = 0; s < static_cast<int>(g.members.size()); ++s) {
-      if (s == root_grp) continue;
-      const auto& remote = g.members[static_cast<size_t>(s)];
-      const int m = static_cast<int>(remote.size());
-      reqs.push_back(
-          r.isend(remote[static_cast<size_t>(c % m)], chunk, tag));
-    }
-    co_await r.wait_all(std::move(reqs));
-  } else {
-    const auto& mine = g.members[static_cast<size_t>(g.my_group)];
-    const int m = static_cast<int>(mine.size());
-    const int my_idx = index_in(mine, me);
-    for (int c = 0; c < k; ++c) {
-      if (c % m == my_idx)
-        (void)co_await r.recv(home[static_cast<size_t>(c)], tag);
-    }
-  }
-
-  // Phase 3: every site reassembles the k chunks with an intra-site ring.
-  const auto& mine = g.members[static_cast<size_t>(g.my_group)];
-  co_await g_ring_allgather(r, mine, chunk, k - 1, tag);
-}
-
-/// Per-site reduce, exchange among site leaders, per-site bcast.
-Task<void> g_allreduce_hier(Rank& r, double bytes, int tag) {
-  SiteGroups g = group_by_site(r);
-  const auto& mine = g.members[static_cast<size_t>(g.my_group)];
-  co_await g_reduce_binomial(r, mine, 0, bytes, tag);
-  if (r.rank() == mine[0]) {
-    std::vector<int> leaders;
-    for (const auto& m : g.members) leaders.push_back(m[0]);
-    co_await g_allreduce_recdbl(r, leaders, bytes, tag);
-  }
-  co_await g_bcast_binomial(r, mine, 0, bytes, tag);
-}
-
-std::vector<int> full_group(Rank& r) {
-  std::vector<int> g(static_cast<size_t>(r.size()));
-  for (int i = 0; i < r.size(); ++i) g[static_cast<size_t>(i)] = i;
-  return g;
-}
-
-// Small-message cutoffs for algorithm switching (bytes).
-constexpr double kBcastLargeCutoff = 12 * 1024;
-constexpr double kAllreduceLargeCutoff = 2 * 1024;
 
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Public entry points.
+// Public entry points: take the collective tag, consult the selector,
+// dispatch through the registry entry. Tag acquisition order (before any
+// early return) is part of the pinned event sequence — do not reorder.
 // ---------------------------------------------------------------------------
 
-Task<void> barrier(mpi::Rank& r) {
+Task<void> barrier(Rank& r) {
   const int p = r.size();
   const int tag = r.next_collective_tag();
   if (p <= 1) co_return;
-  const int me = r.rank();
-  switch (r.job().profile().collectives.barrier) {
-    case mpi::BarrierAlgo::kDissemination:
-      for (int k = 1; k < p; k <<= 1) {
-        mpi::Request req = r.isend((me + k) % p, 1, tag);
-        (void)co_await r.recv((me - k + p) % p, tag);
-        (void)co_await r.wait(req);
-      }
-      break;
-    case mpi::BarrierAlgo::kTree: {
-      std::vector<int> group = full_group(r);
-      co_await g_reduce_binomial(r, group, 0, 1, tag);
-      co_await g_bcast_binomial(r, group, 0, 1, tag);
-      break;
-    }
-  }
+  const auto& suite = r.job().profile().collectives;
+  const mpi::CollRule& rule = Selector::pick(
+      suite, CollOp::kBarrier, 0, p, sites_for(r, suite, CollOp::kBarrier));
+  const BarrierAlgorithm* a =
+      AlgorithmRegistry::instance().find_barrier(rule.algo);
+  if (a == nullptr) unknown_algorithm("barrier", rule.algo);
+  co_await a->run(r, tag);
 }
 
-Task<void> bcast(mpi::Rank& r, int root, double bytes) {
+Task<void> bcast(Rank& r, int root, double bytes) {
   const int tag = r.next_collective_tag();
   const auto& suite = r.job().profile().collectives;
   if (r.size() <= 1) co_return;
-  switch (suite.bcast) {
-    case mpi::BcastAlgo::kBinomial:
-      co_await detail::bcast_binomial(r, root, bytes, tag);
-      break;
-    case mpi::BcastAlgo::kVanDeGeijn:
-      if (bytes <= kBcastLargeCutoff)
-        co_await detail::bcast_binomial(r, root, bytes, tag);
-      else
-        co_await detail::bcast_scatter_ring(r, root, bytes, tag);
-      break;
-    case mpi::BcastAlgo::kHierarchical:
-      if (bytes <= kBcastLargeCutoff)
-        co_await detail::bcast_binomial(r, root, bytes, tag);
-      else
-        co_await detail::bcast_hierarchical(r, root, bytes, tag);
-      break;
-    case mpi::BcastAlgo::kPipeline:
-      if (bytes <= kBcastLargeCutoff)
-        co_await detail::bcast_binomial(r, root, bytes, tag);
-      else
-        co_await detail::bcast_pipeline(r, root, bytes, tag);
-      break;
-  }
+  const mpi::CollRule& rule =
+      Selector::pick(suite, CollOp::kBcast, bytes, r.size(),
+                     sites_for(r, suite, CollOp::kBcast));
+  const BcastAlgorithm* a = AlgorithmRegistry::instance().find_bcast(rule.algo);
+  if (a == nullptr) unknown_algorithm("bcast", rule.algo);
+  co_await a->run(r, root, bytes, tag);
 }
 
-Task<void> reduce(mpi::Rank& r, int root, double bytes) {
+Task<void> reduce(Rank& r, int root, double bytes) {
   const int tag = r.next_collective_tag();
-  co_await g_reduce_binomial(r, full_group(r), root, bytes, tag);
+  co_await algo::group_reduce_binomial(r, algo::full_group(r), root, bytes,
+                                       tag);
 }
 
-Task<void> allreduce(mpi::Rank& r, double bytes) {
+Task<void> allreduce(Rank& r, double bytes) {
   const int tag = r.next_collective_tag();
   const auto& suite = r.job().profile().collectives;
   if (r.size() <= 1) co_return;
-  switch (suite.allreduce) {
-    case mpi::AllreduceAlgo::kRecursiveDoubling:
-      co_await detail::allreduce_recursive_doubling(r, bytes, tag);
-      break;
-    case mpi::AllreduceAlgo::kRabenseifner:
-      if (bytes <= kAllreduceLargeCutoff)
-        co_await detail::allreduce_recursive_doubling(r, bytes, tag);
-      else
-        co_await detail::allreduce_rabenseifner(r, bytes, tag);
-      break;
-    case mpi::AllreduceAlgo::kHierarchical:
-      co_await detail::allreduce_hierarchical(r, bytes, tag);
-      break;
-  }
+  const mpi::CollRule& rule =
+      Selector::pick(suite, CollOp::kAllreduce, bytes, r.size(),
+                     sites_for(r, suite, CollOp::kAllreduce));
+  const AllreduceAlgorithm* a =
+      AlgorithmRegistry::instance().find_allreduce(rule.algo);
+  if (a == nullptr) unknown_algorithm("allreduce", rule.algo);
+  co_await a->run(r, bytes, tag);
 }
 
-Task<void> gather(mpi::Rank& r, int root, double bytes_per_rank) {
+Task<void> gather(Rank& r, int root, double bytes_per_rank) {
   // Binomial gather: subtree payloads aggregate toward the root.
   const int tag = r.next_collective_tag();
   const int p = r.size();
@@ -401,112 +103,47 @@ Task<void> gather(mpi::Rank& r, int root, double bytes_per_rank) {
   }
 }
 
-Task<void> scatter(mpi::Rank& r, int root, double bytes_per_rank) {
+Task<void> scatter(Rank& r, int root, double bytes_per_rank) {
   const int tag = r.next_collective_tag();
   const int p = r.size();
   if (p <= 1) co_return;
-  std::vector<int> group = full_group(r);
-  co_await g_scatter_for_bcast(r, group, root, bytes_per_rank * p, tag);
+  std::vector<int> group = algo::full_group(r);
+  co_await algo::group_scatter_for_bcast(r, group, root, bytes_per_rank * p,
+                                         tag);
 }
 
-Task<void> allgather(mpi::Rank& r, double bytes_per_rank) {
+Task<void> allgather(Rank& r, double bytes_per_rank) {
   const int tag = r.next_collective_tag();
-  co_await g_ring_allgather(r, full_group(r), bytes_per_rank, r.size() - 1,
-                            tag);
+  co_await algo::group_ring_allgather(r, algo::full_group(r), bytes_per_rank,
+                                      r.size() - 1, tag);
 }
 
-Task<void> alltoall(mpi::Rank& r, double bytes_per_pair) {
+Task<void> alltoall(Rank& r, double bytes_per_pair) {
   std::vector<double> v(static_cast<size_t>(r.size()), bytes_per_pair);
   v[static_cast<size_t>(r.rank())] = 0;
   co_await alltoallv(r, v);
 }
 
-namespace {
-
-/// Pairwise exchange: step s pairs me with me+s (send) and me-s (recv).
-/// Zero-sized entries still travel as empty messages so the peer's recv
-/// always has a match.
-Task<void> alltoallv_pairwise(mpi::Rank& r,
-                              const std::vector<double>& send_bytes,
-                              int tag) {
-  const int p = r.size();
-  const int me = r.rank();
-  for (int s = 1; s < p; ++s) {
-    const int dst = (me + s) % p;
-    const int src = (me - s + p) % p;
-    mpi::Request req = r.isend(dst, send_bytes[static_cast<size_t>(dst)], tag);
-    (void)co_await r.recv(src, tag);
-    (void)co_await r.wait(req);
-  }
-}
-
-/// Ring variant: only neighbour links are used; blocks are relayed hop by
-/// hop, so a block for distance d crosses d links. Modelled with uniform
-/// relaying: at step s each rank forwards the fraction of its total volume
-/// that still has further to travel. Cheap on a physical ring, wasteful
-/// when neighbours sit across a WAN.
-Task<void> alltoallv_ring(mpi::Rank& r, const std::vector<double>& send_bytes,
-                          int tag) {
-  const int p = r.size();
-  const int me = r.rank();
-  double total = 0;
-  for (double b : send_bytes) total += b;
-  const int right = (me + 1) % p;
-  const int left = (me - 1 + p) % p;
-  for (int s = 1; s < p; ++s) {
-    const double step_bytes = total * double(p - s) / double(p - 1);
-    mpi::Request req = r.isend(right, step_bytes, tag);
-    (void)co_await r.recv(left, tag);
-    (void)co_await r.wait(req);
-  }
-}
-
-/// Bruck: ceil(log2 p) rounds; in round k every rank sends to (me + 2^k)
-/// the aggregate of all blocks whose relative destination has bit k set —
-/// about half the total volume per round, but only log2(p) latency hits.
-/// The classic choice for small payloads.
-Task<void> alltoallv_bruck(mpi::Rank& r, const std::vector<double>& send_bytes,
-                           int tag) {
-  const int p = r.size();
-  const int me = r.rank();
-  double total = 0;
-  for (double b : send_bytes) total += b;
-  for (int k = 1; k < p; k <<= 1) {
-    const int dst = (me + k) % p;
-    const int src = (me - k + p) % p;
-    // Fraction of relative destinations 1..p-1 with bit k set.
-    int with_bit = 0;
-    for (int rel = 1; rel < p; ++rel)
-      if (rel & k) ++with_bit;
-    const double bytes = total * with_bit / std::max(1, p - 1);
-    mpi::Request req = r.isend(dst, bytes, tag);
-    (void)co_await r.recv(src, tag);
-    (void)co_await r.wait(req);
-  }
-}
-
-}  // namespace
-
-Task<void> alltoallv(mpi::Rank& r, const std::vector<double>& send_bytes) {
+Task<void> alltoallv(Rank& r, const std::vector<double>& send_bytes) {
   const int tag = r.next_collective_tag();
   const int p = r.size();
   if (static_cast<int>(send_bytes.size()) != p)
     throw std::invalid_argument("alltoallv: send_bytes.size() != size()");
   if (p <= 1) co_return;
-  switch (r.job().profile().collectives.alltoall) {
-    case mpi::AlltoallAlgo::kPairwise:
-      co_await alltoallv_pairwise(r, send_bytes, tag);
-      break;
-    case mpi::AlltoallAlgo::kRing:
-      co_await alltoallv_ring(r, send_bytes, tag);
-      break;
-    case mpi::AlltoallAlgo::kBruck:
-      co_await alltoallv_bruck(r, send_bytes, tag);
-      break;
-  }
+  const auto& suite = r.job().profile().collectives;
+  // The size a rule matches on is the caller's total send volume.
+  double total = 0;
+  for (double b : send_bytes) total += b;
+  const mpi::CollRule& rule =
+      Selector::pick(suite, CollOp::kAlltoall, total, p,
+                     sites_for(r, suite, CollOp::kAlltoall));
+  const AlltoallAlgorithm* a =
+      AlgorithmRegistry::instance().find_alltoall(rule.algo);
+  if (a == nullptr) unknown_algorithm("alltoall", rule.algo);
+  co_await a->run(r, send_bytes, tag);
 }
 
-Task<void> gatherv(mpi::Rank& r, int root, const std::vector<double>& bytes) {
+Task<void> gatherv(Rank& r, int root, const std::vector<double>& bytes) {
   const int tag = r.next_collective_tag();
   const int p = r.size();
   if (static_cast<int>(bytes.size()) != p)
@@ -522,7 +159,7 @@ Task<void> gatherv(mpi::Rank& r, int root, const std::vector<double>& bytes) {
   }
 }
 
-Task<void> scatterv(mpi::Rank& r, int root, const std::vector<double>& bytes) {
+Task<void> scatterv(Rank& r, int root, const std::vector<double>& bytes) {
   const int tag = r.next_collective_tag();
   const int p = r.size();
   if (static_cast<int>(bytes.size()) != p)
@@ -539,69 +176,28 @@ Task<void> scatterv(mpi::Rank& r, int root, const std::vector<double>& bytes) {
   }
 }
 
-Task<void> reduce_scatter(mpi::Rank& r, double bytes) {
+Task<void> reduce_scatter(Rank& r, double bytes) {
   const int tag = r.next_collective_tag();
   const int p = r.size();
   if (p <= 1) co_return;
-  const std::vector<int> group = full_group(r);
-  if (!is_pow2(p)) {
+  const std::vector<int> group = algo::full_group(r);
+  if (!algo::is_pow2(p)) {
     // Fallback: full reduce to 0, then scatter the blocks.
-    co_await g_reduce_binomial(r, group, 0, bytes, tag);
-    co_await g_scatter_for_bcast(r, group, 0, bytes, tag);
+    co_await algo::group_reduce_binomial(r, group, 0, bytes, tag);
+    co_await algo::group_scatter_for_bcast(r, group, 0, bytes, tag);
     co_return;
   }
   // Recursive halving (the first phase of Rabenseifner's allreduce).
-  const int me = index_in(group, r.rank());
+  const int me = algo::index_in(group, r.rank());
   double size = bytes / 2;
   for (int dist = p / 2; dist >= 1; dist /= 2) {
     const int partner = group[static_cast<size_t>(me ^ dist)];
     mpi::Request req = r.isend(partner, size, tag);
     (void)co_await r.recv(partner, tag);
     (void)co_await r.wait(req);
-    co_await reduce_compute(r, size);
+    co_await algo::reduce_compute(r, size);
     size /= 2;
   }
 }
-
-// ---------------------------------------------------------------------------
-// detail: exposed algorithms.
-// ---------------------------------------------------------------------------
-
-namespace detail {
-
-Task<void> bcast_binomial(mpi::Rank& r, int root, double bytes, int tag) {
-  co_await g_bcast_binomial(r, full_group(r), root, bytes, tag);
-}
-
-Task<void> bcast_scatter_ring(mpi::Rank& r, int root, double bytes, int tag) {
-  // WAN-oblivious van de Geijn: binomial scatter + rank-ordered ring
-  // allgather. On a block-placed grid job the ring repeatedly hands chunks
-  // across the WAN: p-1 latency-bound steps.
-  std::vector<int> group = full_group(r);
-  co_await g_scatter_for_bcast(r, group, root, bytes, tag);
-  co_await g_ring_allgather(r, group, bytes / r.size(), r.size() - 1, tag);
-}
-
-Task<void> bcast_hierarchical(mpi::Rank& r, int root, double bytes, int tag) {
-  co_await g_bcast_hier(r, root, bytes, tag);
-}
-
-Task<void> bcast_pipeline(mpi::Rank& r, int root, double bytes, int tag) {
-  co_await g_bcast_pipeline(r, full_group(r), root, bytes, tag);
-}
-
-Task<void> allreduce_recursive_doubling(mpi::Rank& r, double bytes, int tag) {
-  co_await g_allreduce_recdbl(r, full_group(r), bytes, tag);
-}
-
-Task<void> allreduce_rabenseifner(mpi::Rank& r, double bytes, int tag) {
-  co_await g_allreduce_rabenseifner(r, full_group(r), bytes, tag);
-}
-
-Task<void> allreduce_hierarchical(mpi::Rank& r, double bytes, int tag) {
-  co_await g_allreduce_hier(r, bytes, tag);
-}
-
-}  // namespace detail
 
 }  // namespace gridsim::coll

@@ -3,16 +3,25 @@
 // Every rank of a communicator must call the same collectives in the same
 // order (SPMD); tags are derived from a per-rank collective sequence number.
 //
-// The algorithm used for each operation comes from the implementation
-// profile's CollectiveSuite:
+// The algorithm behind each operation comes from the algorithm layer:
 //
-//  * WAN-oblivious defaults (MPICH2/OpenMPI-style): binomial trees for
-//    small messages, scatter + rank-ordered ring allgather for large
-//    broadcasts — the ring crosses the WAN once per step, which is the
-//    paper's explanation for poor FT performance on the grid.
-//  * GridMPI (topology-aware): hierarchical algorithms that cross the WAN
-//    once, using one simultaneous stream per node pair ("multiple
-//    node-to-node connections", Matsuda et al. Cluster'06).
+//  * `AlgorithmRegistry` (registry.hpp) — every implemented algorithm is a
+//    named, introspectable entry (binomial, scatter-ring/van de Geijn,
+//    pipeline, hierarchical, recursive-doubling, rabenseifner, ...).
+//  * `Selector` (selector.hpp) — picks the entry per (operation, message
+//    size, communicator size, topology shape) from the profile's
+//    declarative rules, falling back to default tables derived from the
+//    profile's `CollectiveSuite` enums:
+//      - WAN-oblivious defaults (MPICH2/OpenMPI-style): binomial trees for
+//        small messages, scatter + rank-ordered ring allgather for large
+//        broadcasts — the ring crosses the WAN once per step, which is the
+//        paper's explanation for poor FT performance on the grid.
+//      - GridMPI (topology-aware): hierarchical algorithms that cross the
+//        WAN once, using one simultaneous stream per node pair ("multiple
+//        node-to-node connections", Matsuda et al. Cluster'06).
+//  * guideline verification (guidelines.hpp) — `gridsim coll --verify`
+//    sweeps profile x size x topology and flags self-contradictory
+//    selections (e.g. Allreduce slower than Reduce+Bcast).
 #pragma once
 
 #include <vector>
@@ -22,7 +31,7 @@
 
 namespace gridsim::coll {
 
-/// Dissemination barrier: ceil(log2 p) rounds of 1-byte messages.
+/// Barrier (algorithm chosen by the selector: dissemination or tree).
 Task<void> barrier(mpi::Rank& r);
 
 /// Broadcast `bytes` from `root` to all ranks.
@@ -59,16 +68,5 @@ Task<void> scatterv(mpi::Rank& r, int root, const std::vector<double>& bytes);
 /// Reduce + scatter of the result: every rank ends with bytes/size() of
 /// the reduced vector (recursive halving on powers of two).
 Task<void> reduce_scatter(mpi::Rank& r, double bytes);
-
-namespace detail {
-// Exposed for unit tests and the ablation bench.
-Task<void> bcast_binomial(mpi::Rank& r, int root, double bytes, int tag);
-Task<void> bcast_scatter_ring(mpi::Rank& r, int root, double bytes, int tag);
-Task<void> bcast_hierarchical(mpi::Rank& r, int root, double bytes, int tag);
-Task<void> bcast_pipeline(mpi::Rank& r, int root, double bytes, int tag);
-Task<void> allreduce_recursive_doubling(mpi::Rank& r, double bytes, int tag);
-Task<void> allreduce_rabenseifner(mpi::Rank& r, double bytes, int tag);
-Task<void> allreduce_hierarchical(mpi::Rank& r, double bytes, int tag);
-}  // namespace detail
 
 }  // namespace gridsim::coll

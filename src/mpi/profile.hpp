@@ -9,6 +9,7 @@
 #include <limits>
 #include <string>
 
+#include "mpi/coll_rules.hpp"
 #include "simcore/time.hpp"
 
 namespace gridsim::mpi {
@@ -52,6 +53,10 @@ struct CollectiveSuite {
   /// WAN-aware algorithms split the communicator by site and use multiple
   /// simultaneous node-to-node connections across the WAN (GridMPI [21]).
   bool topology_aware = false;
+  /// Declarative selection rules, scanned first-match-wins before the
+  /// default tables the enums above imply (collectives/selector.hpp). Empty
+  /// (the default) means the enum-derived behaviour, unchanged.
+  CollRules selector;
 };
 
 /// Everything that distinguishes one MPI implementation from another in

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "collectives/registry.hpp"
+
 namespace gridsim::profiles {
 
 namespace {
@@ -130,6 +132,30 @@ ExperimentConfig configure(mpi::ImplProfile base, TuningLevel level) {
   }
   cfg.profile = std::move(base);
   return cfg;
+}
+
+// Name-based knobs resolve through the registry's enum bridge so
+// `.bcast_algo("vandegeijn")` and `.bcast(BcastAlgo::kVanDeGeijn)` are the
+// same profile (byte-identical digests). Defined out of line to keep the
+// collectives registry out of this widely-included header.
+ExperimentBuilder& ExperimentBuilder::bcast_algo(std::string_view name) {
+  base_.collectives.bcast = coll::bcast_policy_by_name(name);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::allreduce_algo(std::string_view name) {
+  base_.collectives.allreduce = coll::allreduce_policy_by_name(name);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::alltoall_algo(std::string_view name) {
+  base_.collectives.alltoall = coll::alltoall_policy_by_name(name);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::barrier_algo(std::string_view name) {
+  base_.collectives.barrier = coll::barrier_policy_by_name(name);
+  return *this;
 }
 
 ExperimentConfig ExperimentBuilder::build() const {

@@ -5,6 +5,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mpi/profile.hpp"
@@ -109,6 +110,23 @@ class ExperimentBuilder {
   }
   ExperimentBuilder& alltoall(mpi::AlltoallAlgo algo) {
     base_.collectives.alltoall = algo;
+    return *this;
+  }
+  /// Name-based algorithm selection (the registry's vocabulary, aliases
+  /// accepted): `.bcast_algo("vandegeijn")` is the modern spelling of
+  /// `.bcast(mpi::BcastAlgo::kVanDeGeijn)`. Each name selects the enum
+  /// *policy* — the named algorithm for large messages with the layer's
+  /// usual small-message fallback — so digests match the enum spelling
+  /// exactly. Throws std::invalid_argument on an unknown name.
+  ExperimentBuilder& bcast_algo(std::string_view name);
+  ExperimentBuilder& allreduce_algo(std::string_view name);
+  ExperimentBuilder& alltoall_algo(std::string_view name);
+  ExperimentBuilder& barrier_algo(std::string_view name);
+  /// Replaces the profile's declarative selector rules, scanned
+  /// first-match-wins before the enum-derived defaults
+  /// (collectives/selector.hpp).
+  ExperimentBuilder& selector(mpi::CollRules rules) {
+    base_.collectives.selector = std::move(rules);
     return *this;
   }
   /// Replaces the kernel tunables the tuning level selected.

@@ -44,6 +44,7 @@ const harness::ScenarioRegistry& paper_registry() {
     detail::register_robust_catalog(reg);
     detail::register_mc_catalog(reg);
     detail::register_lint_catalog(reg);
+    detail::register_coll_catalog(reg);
     return reg;
   }();
   return registry;

@@ -47,6 +47,13 @@ void register_mc_catalog(harness::ScenarioRegistry& reg);
 /// persistent sets collapse the exploration to one execution.
 void register_lint_catalog(harness::ScenarioRegistry& reg);
 
+/// The collective-algorithm layer (`gridsim coll`, docs/collectives.md):
+/// per-implementation performance-guideline sweeps that fail the campaign
+/// on any violation, the deliberately mis-ruled negative fixture that must
+/// be caught, registry-driven algorithm-equivalence sweeps, and the
+/// selector / fluent-builder API surface.
+void register_coll_catalog(harness::ScenarioRegistry& reg);
+
 /// TCP baseline + the four implementations, in the paper's order.
 std::vector<mpi::ImplProfile> profiles_with_tcp();
 

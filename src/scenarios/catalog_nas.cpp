@@ -239,18 +239,16 @@ void register_ablation_collectives(ScenarioRegistry& reg) {
   struct BcastCase {
     const char* slug;
     const char* label;
-    mpi::BcastAlgo algo;
+    const char* algo;  ///< registry name (collectives/registry.hpp)
   };
   for (const BcastCase c :
-       {BcastCase{"bcast-binomial", "binomial tree", mpi::BcastAlgo::kBinomial},
+       {BcastCase{"bcast-binomial", "binomial tree", "binomial"},
         BcastCase{"bcast-vandegeijn",
-                  "scatter + ring allgather (WAN-oblivious)",
-                  mpi::BcastAlgo::kVanDeGeijn},
-        BcastCase{"bcast-pipeline", "segmented pipeline chain",
-                  mpi::BcastAlgo::kPipeline},
+                  "scatter + ring allgather (WAN-oblivious)", "vandegeijn"},
+        BcastCase{"bcast-pipeline", "segmented pipeline chain", "pipeline"},
         BcastCase{"bcast-hierarchical",
                   "hierarchical, parallel WAN streams (GridMPI)",
-                  mpi::BcastAlgo::kHierarchical}}) {
+                  "hierarchical"}}) {
     ScenarioSpec spec;
     spec.group = "ablation_collectives";
     spec.name = std::string("ablation_collectives/") + c.slug;
@@ -258,13 +256,13 @@ void register_ablation_collectives(ScenarioRegistry& reg) {
         std::string("FT class B on 8+8 nodes, bcast = ") + c.label;
     spec.expected_metrics = {"ft_s"};
     const std::string label = c.label;
-    const mpi::BcastAlgo algo = c.algo;
+    const std::string algo = c.algo;
     spec.run = [label, algo](const ScenarioContext& ctx) {
       const auto res_npb = harness::run_npb(
           topo::GridSpec::rennes_nancy(8), 16, npb::Kernel::kFT,
           npb::Class::kB,
           profiles::experiment(profiles::mpich2())
-              .bcast(algo)
+              .bcast_algo(algo)
               .tuning(TuningLevel::kTcpTuned),
           0, ctx.hooks);
       ScenarioResult res;
@@ -281,15 +279,14 @@ void register_ablation_collectives(ScenarioRegistry& reg) {
   struct ArCase {
     const char* slug;
     const char* label;
-    mpi::AllreduceAlgo algo;
+    const char* algo;  ///< registry name (collectives/registry.hpp)
   };
   for (const ArCase c :
        {ArCase{"allreduce-recursive-doubling", "recursive doubling",
-               mpi::AllreduceAlgo::kRecursiveDoubling},
-        ArCase{"allreduce-rabenseifner", "Rabenseifner",
-               mpi::AllreduceAlgo::kRabenseifner},
+               "recursive-doubling"},
+        ArCase{"allreduce-rabenseifner", "Rabenseifner", "rabenseifner"},
         ArCase{"allreduce-hierarchical", "hierarchical (GridMPI)",
-               mpi::AllreduceAlgo::kHierarchical}}) {
+               "hierarchical"}}) {
     ScenarioSpec spec;
     spec.group = "ablation_collectives";
     spec.name = std::string("ablation_collectives/") + c.slug;
@@ -298,11 +295,11 @@ void register_ablation_collectives(ScenarioRegistry& reg) {
         c.label;
     spec.expected_metrics = {"total_s"};
     const std::string label = c.label;
-    const mpi::AllreduceAlgo algo = c.algo;
+    const std::string algo = c.algo;
     spec.run = [label, algo](const ScenarioContext& ctx) {
       const profiles::ExperimentConfig cfg =
           profiles::experiment(profiles::mpich2())
-              .allreduce(algo)
+              .allreduce_algo(algo)
               .tuning(TuningLevel::kTcpTuned);
       // 100 back-to-back 64 kB allreduces over 8+8 nodes, timed directly
       // on a raw Simulation (so the hooks are invoked manually).

@@ -144,6 +144,18 @@ const std::vector<std::string>& expected_names() {
     "mc/deadlock-fixture",
     "lint/wildcard-race",
     "lint/scripted-order",
+    "coll/verify-MPICH2",
+    "coll/verify-GridMPI",
+    "coll/verify-MPICH-Madeleine",
+    "coll/verify-OpenMPI",
+    "coll/misrule-fixture",
+    "coll/equiv-bcast",
+    "coll/equiv-allreduce",
+    "coll/equiv-alltoall",
+    "coll/equiv-barrier",
+    "coll/decision-table",
+    "coll/selector-rules",
+    "coll/builder-knobs",
   };
   return names;
 }
@@ -184,6 +196,28 @@ TEST(Catalog, McGroupIsComplete) {
       "mc/deadlock-fixture",
   };
   EXPECT_EQ(mc, expected);
+}
+
+TEST(Catalog, CollGroupIsComplete) {
+  const auto& reg = paper_registry();
+  std::set<std::string> coll;
+  for (const auto& spec : reg.scenarios())
+    if (spec.group == "coll") coll.insert(spec.name);
+  const std::set<std::string> expected = {
+      "coll/verify-MPICH2",    "coll/verify-GridMPI",
+      "coll/verify-MPICH-Madeleine", "coll/verify-OpenMPI",
+      "coll/misrule-fixture",  "coll/equiv-bcast",
+      "coll/equiv-allreduce",  "coll/equiv-alltoall",
+      "coll/equiv-barrier",    "coll/decision-table",
+      "coll/selector-rules",   "coll/builder-knobs",
+  };
+  EXPECT_EQ(coll, expected);
+  // Guideline sweeps are deterministic simulations with no wildcard
+  // receives: none of them may declare expected races.
+  for (const auto& spec : reg.scenarios()) {
+    if (spec.group != "coll") continue;
+    EXPECT_FALSE(spec.races_expected) << spec.name;
+  }
 }
 
 TEST(Catalog, McScenariosDeclareSmallRankCounts) {

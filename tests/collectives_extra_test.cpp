@@ -16,6 +16,13 @@ namespace {
 using mpi::ImplProfile;
 using mpi::Rank;
 
+/// A suite whose selector unconditionally picks the named algorithm.
+mpi::CollectiveSuite force(mpi::CollOp op, std::string algo) {
+  mpi::CollectiveSuite suite;
+  suite.selector = {mpi::CollRule{.op = op, .algo = std::move(algo)}};
+  return suite;
+}
+
 Task<void> timed(std::function<Task<void>(Rank&)> body, Rank* r,
                  SimTime* finish) {
   co_await body(*r);
@@ -105,8 +112,7 @@ INSTANTIATE_TEST_SUITE_P(Counts, ReduceScatterSweep,
 TEST(CollectivesExtra, ReduceScatterCheaperThanAllreduce) {
   // Reduce-scatter is the first half of Rabenseifner's allreduce: it must
   // not be slower than the full allreduce.
-  mpi::CollectiveSuite suite;
-  suite.allreduce = mpi::AllreduceAlgo::kRabenseifner;
+  const auto suite = force(mpi::CollOp::kAllreduce, "rabenseifner");
   const SimTime rs =
       run_group(topo::GridSpec::rennes_nancy(8), 16, suite,
                 [](Rank& r) { return reduce_scatter_body(r, 1e6); });
@@ -121,7 +127,7 @@ TEST(CollectivesExtra, ReduceScatterCheaperThanAllreduce) {
 // payload to every rank for every size, on a 3-site grid. -----------------
 
 struct SweepCase {
-  mpi::BcastAlgo algo;
+  const char* algo;  ///< registry name (see collectives/registry.hpp)
   double bytes;
 };
 
@@ -129,35 +135,33 @@ class BcastSizeSweep : public ::testing::TestWithParam<SweepCase> {};
 
 TEST_P(BcastSizeSweep, TrafficLowerBoundHolds) {
   const SweepCase c = GetParam();
-  mpi::CollectiveSuite suite;
-  suite.bcast = c.algo;
   mpi::TrafficStats stats;
   auto spec = topo::GridSpec::ray2mesh_quad(4);  // 4 sites x 4 nodes
-  run_group(spec, 16, suite,
+  run_group(spec, 16, force(mpi::CollOp::kBcast, c.algo),
             [&c](Rank& r) -> Task<void> { co_await bcast(r, 0, c.bytes); },
             &stats);
   // Information-theoretic lower bound: 15 ranks must each receive b bytes.
   EXPECT_GE(stats.collective_bytes, 15 * c.bytes * 0.99)
-      << "algo=" << static_cast<int>(c.algo) << " bytes=" << c.bytes;
+      << "algo=" << c.algo << " bytes=" << c.bytes;
   // And no algorithm should move more than ~3x the optimum.
   EXPECT_LE(stats.collective_bytes, 15 * c.bytes * 3.2);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllAlgos, BcastSizeSweep,
-    ::testing::Values(SweepCase{mpi::BcastAlgo::kBinomial, 1e3},
-                      SweepCase{mpi::BcastAlgo::kBinomial, 1e6},
-                      SweepCase{mpi::BcastAlgo::kVanDeGeijn, 64e3},
-                      SweepCase{mpi::BcastAlgo::kVanDeGeijn, 1e6},
-                      SweepCase{mpi::BcastAlgo::kHierarchical, 64e3},
-                      SweepCase{mpi::BcastAlgo::kHierarchical, 1e6},
-                      SweepCase{mpi::BcastAlgo::kPipeline, 64e3},
-                      SweepCase{mpi::BcastAlgo::kPipeline, 1e6}));
+    ::testing::Values(SweepCase{"binomial", 1e3}, SweepCase{"binomial", 1e6},
+                      SweepCase{"scatter-ring", 64e3},
+                      SweepCase{"scatter-ring", 1e6},
+                      SweepCase{"hierarchical", 64e3},
+                      SweepCase{"hierarchical", 1e6},
+                      SweepCase{"pipeline", 64e3},
+                      SweepCase{"pipeline", 1e6}));
 
 TEST(CollectivesExtra, HierarchicalHandlesFourSites) {
   mpi::CollectiveSuite suite;
-  suite.bcast = mpi::BcastAlgo::kHierarchical;
-  suite.allreduce = mpi::AllreduceAlgo::kHierarchical;
+  suite.selector = {
+      mpi::CollRule{.op = mpi::CollOp::kBcast, .algo = "hierarchical"},
+      mpi::CollRule{.op = mpi::CollOp::kAllreduce, .algo = "hierarchical"}};
   const SimTime end = run_group(
       topo::GridSpec::ray2mesh_quad(4), 16, suite, [](Rank& r) -> Task<void> {
         co_await bcast(r, 3, 512e3);
@@ -170,14 +174,13 @@ TEST(CollectivesExtra, HierarchicalHandlesFourSites) {
 Task<void> barrier_only(Rank& r) { co_await barrier(r); }
 
 TEST(CollectivesExtra, BothBarrierAlgorithmsSynchronise) {
-  for (auto algo : {mpi::BarrierAlgo::kDissemination, mpi::BarrierAlgo::kTree}) {
-    mpi::CollectiveSuite suite;
-    suite.barrier = algo;
-    const SimTime end = run_group(topo::GridSpec::rennes_nancy(4), 8, suite,
+  for (const char* algo : {"dissemination", "tree"}) {
+    const SimTime end = run_group(topo::GridSpec::rennes_nancy(4), 8,
+                                  force(mpi::CollOp::kBarrier, algo),
                                   [](Rank& r) { return barrier_only(r); });
-    EXPECT_GT(end, 0) << static_cast<int>(algo);
+    EXPECT_GT(end, 0) << algo;
     // A barrier costs at least one WAN crossing on a two-site job.
-    EXPECT_GE(end, milliseconds(5)) << static_cast<int>(algo);
+    EXPECT_GE(end, milliseconds(5)) << algo;
   }
 }
 

@@ -1,5 +1,8 @@
 // Tests for the collective algorithms: termination, traffic volumes, and
-// the WAN-awareness properties the paper relies on.
+// the WAN-awareness properties the paper relies on. Algorithms are selected
+// by registry name through declarative selector rules (coll_rules.hpp), the
+// same path `ExperimentBuilder::bcast_algo(...)` and the shipped decision
+// tables use.
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -25,6 +28,13 @@ ImplProfile profile_with(mpi::CollectiveSuite suite) {
   p.eager_threshold = 1e9;  // keep protocol out of the picture
   p.collectives = suite;
   return p;
+}
+
+/// A suite whose selector unconditionally picks the named algorithm.
+mpi::CollectiveSuite force(mpi::CollOp op, std::string algo) {
+  mpi::CollectiveSuite suite;
+  suite.selector = {mpi::CollRule{.op = op, .algo = std::move(algo)}};
+  return suite;
 }
 
 Task<void> timed_body(std::function<Task<void>(Rank&)> body, Rank* r,
@@ -87,14 +97,13 @@ Task<void> repeated_allreduce_body(Rank& r, double bytes, int iters) {
   for (int i = 0; i < iters; ++i) co_await allreduce(r, bytes);
 }
 
-class BcastAlgos : public ::testing::TestWithParam<mpi::BcastAlgo> {};
+class BcastAlgos : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(BcastAlgos, CompletesAndMovesEnoughBytes) {
-  mpi::CollectiveSuite suite;
-  suite.bcast = GetParam();
   mpi::TrafficStats stats;
   const double bytes = 256e3;
-  run_spmd(topo::GridSpec::rennes_nancy(8), 16, profile_with(suite),
+  run_spmd(topo::GridSpec::rennes_nancy(8), 16,
+           profile_with(force(mpi::CollOp::kBcast, GetParam())),
            [bytes](Rank& r) { return bcast_bytes_body(r, bytes); }, &stats);
   // Every rank except the root must receive the payload at least once:
   // total collective traffic >= (p-1) * bytes.
@@ -103,15 +112,13 @@ TEST_P(BcastAlgos, CompletesAndMovesEnoughBytes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(All, BcastAlgos,
-                         ::testing::Values(mpi::BcastAlgo::kBinomial,
-                                           mpi::BcastAlgo::kVanDeGeijn,
-                                           mpi::BcastAlgo::kHierarchical));
+                         ::testing::Values("binomial", "scatter-ring",
+                                           "hierarchical"));
 
 TEST(Collectives, BcastNonRootRootWorks) {
-  mpi::CollectiveSuite suite;
-  suite.bcast = mpi::BcastAlgo::kBinomial;
   const SimTime end = run_spmd(
-      topo::GridSpec::rennes_nancy(4), 8, profile_with(suite),
+      topo::GridSpec::rennes_nancy(4), 8,
+      profile_with(force(mpi::CollOp::kBcast, "binomial")),
       [](Rank& r) -> Task<void> { co_await bcast(r, 5, 64e3); });
   EXPECT_GT(end, 0);
 }
@@ -122,58 +129,51 @@ TEST(Collectives, HierarchicalBcastBeatsRingOnTheGrid) {
   // with parallel streams.
   // 20 back-to-back 128 kB broadcasts (FT does hundreds): TCP channels are
   // warm after the first few, isolating the algorithmic difference.
-  auto time_bcast = [](mpi::BcastAlgo algo) {
-    mpi::CollectiveSuite suite;
-    suite.bcast = algo;
-    return run_spmd(topo::GridSpec::rennes_nancy(8), 16, profile_with(suite),
+  auto time_bcast = [](const char* algo) {
+    return run_spmd(topo::GridSpec::rennes_nancy(8), 16,
+                    profile_with(force(mpi::CollOp::kBcast, algo)),
                     [](Rank& r) { return repeated_bcast_body(r, 128e3, 20); });
   };
-  const SimTime ring = time_bcast(mpi::BcastAlgo::kVanDeGeijn);
-  const SimTime hier = time_bcast(mpi::BcastAlgo::kHierarchical);
-  const SimTime binom = time_bcast(mpi::BcastAlgo::kBinomial);
+  const SimTime ring = time_bcast("scatter-ring");
+  const SimTime hier = time_bcast("hierarchical");
+  const SimTime binom = time_bcast("binomial");
   EXPECT_LT(hier, ring / 3);   // order-of-magnitude win over the WAN ring
   EXPECT_LT(hier, binom);      // parallel WAN streams also beat the tree
 }
 
 TEST(Collectives, HierarchicalBcastOnSingleClusterStillWorks) {
-  mpi::CollectiveSuite suite;
-  suite.bcast = mpi::BcastAlgo::kHierarchical;
   const SimTime end = run_spmd(
-      topo::GridSpec::single_cluster(16), 16, profile_with(suite),
+      topo::GridSpec::single_cluster(16), 16,
+      profile_with(force(mpi::CollOp::kBcast, "hierarchical")),
       [](Rank& r) -> Task<void> { co_await bcast(r, 0, 1e6); });
   EXPECT_GT(end, 0);
   EXPECT_LT(end, 1_s);
 }
 
-class AllreduceAlgos
-    : public ::testing::TestWithParam<mpi::AllreduceAlgo> {};
+class AllreduceAlgos : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(AllreduceAlgos, CompletesOnPow2AndNonPow2) {
-  mpi::CollectiveSuite suite;
-  suite.allreduce = GetParam();
   for (int nranks : {4, 6, 16}) {
     const SimTime end = run_spmd(
-        topo::GridSpec::rennes_nancy(8), nranks, profile_with(suite),
+        topo::GridSpec::rennes_nancy(8), nranks,
+        profile_with(force(mpi::CollOp::kAllreduce, GetParam())),
         [](Rank& r) -> Task<void> { co_await allreduce(r, 64e3); });
     EXPECT_GT(end, 0) << "nranks=" << nranks;
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    All, AllreduceAlgos,
-    ::testing::Values(mpi::AllreduceAlgo::kRecursiveDoubling,
-                      mpi::AllreduceAlgo::kRabenseifner,
-                      mpi::AllreduceAlgo::kHierarchical));
+INSTANTIATE_TEST_SUITE_P(All, AllreduceAlgos,
+                         ::testing::Values("recursive-doubling",
+                                           "rabenseifner", "hierarchical"));
 
 TEST(Collectives, HierarchicalAllreduceReducesWanTraffic) {
   // The hierarchical algorithm's benefit with two sites is WAN traffic: only
   // the two site leaders exchange payloads across the WAN (2 messages),
   // versus 16 full-size pair exchanges in recursive doubling.
-  auto wan_bytes = [](mpi::AllreduceAlgo algo) {
+  auto wan_bytes = [](const char* algo) {
     Simulation sim;
     topo::Grid grid(sim, topo::GridSpec::rennes_nancy(8));
-    mpi::ImplProfile p = profile_with({});
-    p.collectives.allreduce = algo;
+    mpi::ImplProfile p = profile_with(force(mpi::CollOp::kAllreduce, algo));
     mpi::Job job(grid, mpi::block_placement(grid, 16), p,
                  tcp::KernelTunables::grid_tuned());
     job.launch(
@@ -184,8 +184,8 @@ TEST(Collectives, HierarchicalAllreduceReducesWanTraffic) {
     return grid.network().link(wan).bytes_carried +
            grid.network().link(rev).bytes_carried;
   };
-  const double rd = wan_bytes(mpi::AllreduceAlgo::kRecursiveDoubling);
-  const double hier = wan_bytes(mpi::AllreduceAlgo::kHierarchical);
+  const double rd = wan_bytes("recursive-doubling");
+  const double hier = wan_bytes("hierarchical");
   EXPECT_LT(hier, rd / 4);
   EXPECT_GT(hier, 0);
 }

@@ -71,13 +71,14 @@ Task<void> alltoall_body(mpi::Rank& r, SimTime* out) {
   *out = r.sim().now();
 }
 
-SimTime run_alltoall(mpi::AlltoallAlgo algo, const topo::GridSpec& spec,
+SimTime run_alltoall(const char* algo, const topo::GridSpec& spec,
                      int nranks, mpi::TrafficStats* stats = nullptr) {
   Simulation sim;
   topo::Grid grid(sim, spec);
   mpi::ImplProfile p;
   p.eager_threshold = 1e12;
-  p.collectives.alltoall = algo;
+  p.collectives.selector = {
+      mpi::CollRule{.op = mpi::CollOp::kAlltoall, .algo = algo}};
   mpi::Job job(grid, mpi::block_placement(grid, nranks), p,
                tcp::KernelTunables::grid_tuned());
   std::vector<SimTime> finish(static_cast<size_t>(nranks), 0);
@@ -91,8 +92,8 @@ SimTime run_alltoall(mpi::AlltoallAlgo algo, const topo::GridSpec& spec,
 TEST(RingAlltoall, CompletesAndMovesMoreBytesThanPairwise) {
   mpi::TrafficStats ring_stats, pair_stats;
   const auto spec = topo::GridSpec::single_cluster(8);
-  run_alltoall(mpi::AlltoallAlgo::kRing, spec, 8, &ring_stats);
-  run_alltoall(mpi::AlltoallAlgo::kPairwise, spec, 8, &pair_stats);
+  run_alltoall("ring", spec, 8, &ring_stats);
+  run_alltoall("pairwise", spec, 8, &pair_stats);
   // Relaying multiplies the carried volume (blocks travel d hops).
   EXPECT_GT(ring_stats.collective_bytes, pair_stats.collective_bytes * 1.5);
 }
@@ -105,11 +106,11 @@ TEST(RingAlltoall, PairwiseWinsOnTheClusterRingWinsOnTheGrid) {
   // carrying more bytes. (This is exactly why grid-aware alltoall
   // algorithms order ranks by site.)
   const auto cluster = topo::GridSpec::single_cluster(8);
-  EXPECT_LT(run_alltoall(mpi::AlltoallAlgo::kPairwise, cluster, 8),
-            run_alltoall(mpi::AlltoallAlgo::kRing, cluster, 8));
+  EXPECT_LT(run_alltoall("pairwise", cluster, 8),
+            run_alltoall("ring", cluster, 8));
   const auto grid = topo::GridSpec::rennes_nancy(4);
-  EXPECT_LT(run_alltoall(mpi::AlltoallAlgo::kRing, grid, 8),
-            run_alltoall(mpi::AlltoallAlgo::kPairwise, grid, 8));
+  EXPECT_LT(run_alltoall("ring", grid, 8),
+            run_alltoall("pairwise", grid, 8));
 }
 
 }  // namespace

@@ -96,13 +96,13 @@ Task<void> timed_alltoall(Rank& r, int iters, double bytes, SimTime* out) {
   *out = r.sim().now();
 }
 
-SimTime run_alltoall(AlltoallAlgo algo, double bytes,
+SimTime run_alltoall(const char* algo, double bytes,
                      TrafficStats* stats = nullptr) {
   Simulation sim;
   topo::Grid grid(sim, topo::GridSpec::rennes_nancy(8));
   ImplProfile p;
   p.eager_threshold = 1e12;
-  p.collectives.alltoall = algo;
+  p.collectives.selector = {CollRule{.op = CollOp::kAlltoall, .algo = algo}};
   Job job(grid, block_placement(grid, 16), p,
           tcp::KernelTunables::grid_tuned());
   std::vector<SimTime> finish(16, 0);
@@ -116,19 +116,17 @@ SimTime run_alltoall(AlltoallAlgo algo, double bytes,
 
 TEST(Bruck, FewerMessagesThanPairwise) {
   TrafficStats bruck, pairwise;
-  run_alltoall(AlltoallAlgo::kBruck, 64, &bruck);
-  run_alltoall(AlltoallAlgo::kPairwise, 64, &pairwise);
+  run_alltoall("bruck", 64, &bruck);
+  run_alltoall("pairwise", 64, &pairwise);
   // log2(16) = 4 rounds vs 15 steps.
   EXPECT_LT(bruck.collective_messages, pairwise.collective_messages / 2);
 }
 
 TEST(Bruck, WinsForTinyPayloadsLosesForLarge) {
   // Tiny payloads: latency dominates, fewer rounds win.
-  EXPECT_LT(run_alltoall(AlltoallAlgo::kBruck, 8),
-            run_alltoall(AlltoallAlgo::kPairwise, 8));
+  EXPECT_LT(run_alltoall("bruck", 8), run_alltoall("pairwise", 8));
   // Large payloads: Bruck forwards each byte log2(p)/2 times on average.
-  EXPECT_GT(run_alltoall(AlltoallAlgo::kBruck, 256e3),
-            run_alltoall(AlltoallAlgo::kPairwise, 256e3));
+  EXPECT_GT(run_alltoall("bruck", 256e3), run_alltoall("pairwise", 256e3));
 }
 
 }  // namespace
