@@ -20,6 +20,7 @@
 #include "profiles/profiles.hpp"
 #include "simcore/callback.hpp"
 #include "simcore/sync.hpp"
+#include "simnet/network.hpp"
 #include "simtcp/packet_sim.hpp"
 
 namespace gridsim::bench {
@@ -188,6 +189,90 @@ inline BenchRecord bench_packet_tcp(bool quick) {
   return r;
 }
 
+/// Flow-churn micro-sim: `concurrent` long-lived flows in groups of 100
+/// (each flow behind its own 40 MB/s uplink, each group sharing a 1 GB/s
+/// WAN), mutated at ~10 us spacing — 50% rate-cap edits, 30%
+/// cancel+restart, 20% uplink-capacity edits.
+/// Measures solver mutations/s; with the incremental solver a mutation
+/// re-solves one group's component (~100 flows) while the global-resolve
+/// oracle re-solves all `concurrent` flows, so the incremental/oracle ratio
+/// is the headline speedup. The note carries the peak dirty-component size
+/// and the fast-path hit count.
+inline BenchRecord bench_flow_churn(bool quick, int concurrent,
+                                    net::SolverMode mode) {
+  const int groups = concurrent / 100;
+  Simulation sim;
+  net::Network n(sim);
+  n.set_solver_mode(mode);
+  std::vector<net::FlowId> flows;
+  std::vector<net::LinkId> uplinks;
+  struct Endpoint {
+    net::HostId src, dst;
+  };
+  std::vector<Endpoint> eps;
+  flows.reserve(static_cast<std::size_t>(concurrent));
+  for (int g = 0; g < groups; ++g) {
+    const net::LinkId wan =
+        n.add_link("wan" + std::to_string(g), 1e9, milliseconds(5), 1e6);
+    for (int i = 0; i < 100; ++i) {
+      const std::string suffix = std::to_string(g) + "_" + std::to_string(i);
+      const net::HostId s = n.add_host("s" + suffix);
+      const net::HostId d = n.add_host("d" + suffix);
+      const net::LinkId up = n.add_link("up" + suffix, 4e7, 0, 1e6);
+      n.add_route(s, d, {up, wan});
+      flows.push_back(n.start_flow(s, d, 1e15, net::kUnlimitedRate, nullptr));
+      uplinks.push_back(up);
+      eps.push_back({s, d});
+    }
+  }
+  // The oracle pays a full global re-solve per mutation (that is the
+  // baseline being measured); fewer ops keep its wall-clock bounded and
+  // the ops/s ratio is unaffected.
+  const int ops = (quick ? 1000 : 4000) /
+                  (mode == net::SolverMode::kGlobalOracle ? 5 : 1);
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;  // deterministic op stream
+  const auto next = [&h] {
+    h ^= h << 13;
+    h ^= h >> 7;
+    h ^= h << 17;
+    return h;
+  };
+  const double t0 = detail::now_wall_s();
+  for (int op = 0; op < ops; ++op) {
+    sim.run_until(sim.now() + microseconds(10));
+    const auto pick = static_cast<std::size_t>(next() % flows.size());
+    const std::uint64_t kind = next() % 10;
+    if (kind < 5) {
+      n.set_rate_cap(flows[pick],
+                     5e6 + 1e5 * static_cast<double>(next() % 100));
+    } else if (kind < 8) {
+      n.cancel_flow(flows[pick]);
+      flows[pick] = n.start_flow(eps[pick].src, eps[pick].dst, 1e15,
+                                 net::kUnlimitedRate, nullptr);
+    } else {
+      n.set_link_capacity(uplinks[pick],
+                          3e7 + 1e5 * static_cast<double>(next() % 100));
+    }
+  }
+  const double wall = detail::now_wall_s() - t0;
+  const auto& stats = n.solver_stats();
+  BenchRecord r;
+  r.name = "flow_churn_" + std::to_string(concurrent / 1000) + "k" +
+           (mode == net::SolverMode::kGlobalOracle ? "_oracle" : "");
+  r.events = static_cast<std::uint64_t>(ops);  // solver mutations
+  r.wall_s = wall;
+  r.events_per_sec = static_cast<double>(r.events) / wall;
+  r.peak_queue_depth = sim.peak_queue_depth();
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "peak_component=%zu solves=%llu fast=%llu",
+                stats.peak_component_flows,
+                static_cast<unsigned long long>(stats.solves),
+                static_cast<unsigned long long>(stats.fast_solves));
+  r.note = buf;
+  return r;
+}
+
 /// Runs `fn` (which must accept a SimHooks) and packages the engine
 /// counters it reports into a BenchRecord.
 template <typename Fn>
@@ -225,6 +310,15 @@ inline std::vector<BenchRecord> run_micro_suite(bool quick, int reps) {
   out.push_back(best_of(bench_queue_churn, quick));
   out.push_back(best_of(bench_coroutine_pingpong, quick));
   out.push_back(best_of(bench_packet_tcp, quick));
+  // Incremental-vs-oracle solver throughput at 1k and 10k concurrent flows
+  // (single runs: the interesting number is the pairwise ratio, and the
+  // oracle runs are slow enough without repetition).
+  for (const int concurrent : {1000, 10000}) {
+    out.push_back(
+        bench_flow_churn(quick, concurrent, net::SolverMode::kIncremental));
+    out.push_back(
+        bench_flow_churn(quick, concurrent, net::SolverMode::kGlobalOracle));
+  }
   return out;
 }
 

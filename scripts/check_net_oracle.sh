@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Network-solver digest check: runs the same scenario selection with the
+# incremental max-min solver (default) and with the retained global oracle
+# (GRIDSIM_NET_ORACLE=1) and fails unless every per-scenario trace digest is
+# byte-identical. This is the executable form of the incremental solver's
+# core claim — the dirty-set/component re-solve changes nothing, down to the
+# last ulp of every flow rate.
+#
+# Usage: scripts/check_net_oracle.sh [filter] [jobs] [path/to/gridsim]
+#   FILTER  glob over scenario names/groups (default: table4*)
+#   JOBS    parallel worker count used for both runs (default: nproc)
+#   GRIDSIM_CLI overrides the default binary location.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-table4*}"
+JOBS="${2:-$(nproc)}"
+CLI="${3:-${GRIDSIM_CLI:-build/src/tools/gridsim}}"
+
+if [[ ! -x "$CLI" ]]; then
+  echo "check_net_oracle: gridsim binary not found at '$CLI'" >&2
+  echo "build it first: cmake --preset release && cmake --build --preset release" >&2
+  exit 2
+fi
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+GRIDSIM_NET_ORACLE=0 "$CLI" campaign --filter "$FILTER" --jobs "$JOBS" \
+  --out "$WORKDIR/incremental" >/dev/null
+GRIDSIM_NET_ORACLE=1 "$CLI" campaign --filter "$FILTER" --jobs "$JOBS" \
+  --out "$WORKDIR/oracle" >/dev/null
+
+# The report keeps one scenario object per line, so name+digest pairs fall
+# out with grep/sed — no JSON parser needed.
+extract() {
+  grep -o '"name": "[^"]*", "group": "[^"]*", "ok": [a-z]*, "digest": "[0-9a-f]*"' \
+    "$1/CAMPAIGN.json"
+}
+
+extract "$WORKDIR/incremental" > "$WORKDIR/incremental.digests"
+extract "$WORKDIR/oracle" > "$WORKDIR/oracle.digests"
+
+if [[ ! -s "$WORKDIR/incremental.digests" ]]; then
+  echo "check_net_oracle: no scenarios matched filter '$FILTER'" >&2
+  exit 2
+fi
+
+if ! diff -u "$WORKDIR/oracle.digests" "$WORKDIR/incremental.digests"; then
+  echo "check_net_oracle: digest mismatch between oracle and incremental solver" >&2
+  exit 1
+fi
+
+COUNT="$(wc -l < "$WORKDIR/incremental.digests")"
+echo "check_net_oracle: $COUNT scenario digests identical for incremental and oracle solvers (filter '$FILTER', --jobs $JOBS)"

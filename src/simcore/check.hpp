@@ -55,6 +55,16 @@ class ScopedLeakExemption {
   ScopedLeakExemption& operator=(const ScopedLeakExemption&) = delete;
 };
 
+/// Tolerant `value <= bound` for conservation invariants over sums of
+/// floating-point shares: true when `value` exceeds `bound` by no more than
+/// `rel_tol * |bound|`. The network layer checks per-link rate conservation
+/// with this after every incremental component re-solve (the sum of N fair
+/// shares accumulates N rounding steps, so exact comparison is wrong).
+constexpr bool approx_le(double value, double bound, double rel_tol = 1e-9) {
+  const double abs_bound = bound < 0 ? -bound : bound;
+  return value <= bound + rel_tol * abs_bound;
+}
+
 namespace detail {
 
 /// Produces a CheckContext for the installing object (a live Simulation).

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+
+#include "simcore/check.hpp"
 
 namespace gridsim::net {
 
@@ -18,7 +22,24 @@ constexpr double kMinRate = 1e-3;      // B/s floor to avoid infinite etas
 // re-arm, so genuinely slow flows still complete. No healthy flow's eta
 // comes close to this horizon (the longest clean transfers are seconds).
 constexpr gridsim::SimTime kMaxCompletionCheck = gridsim::seconds(60);
+
+SolverMode initial_solver_mode() {
+  const char* v = std::getenv("GRIDSIM_NET_ORACLE");
+  if (v == nullptr || *v == '\0') {
+#if defined(GRIDSIM_NET_ORACLE_DEFAULT)
+    return SolverMode::kGlobalOracle;
+#else
+    return SolverMode::kIncremental;
+#endif
+  }
+  if (std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+      std::strcmp(v, "off") == 0)
+    return SolverMode::kIncremental;
+  return SolverMode::kGlobalOracle;
+}
 }  // namespace
+
+Network::Network(Simulation& sim) : sim_(sim), mode_(initial_solver_mode()) {}
 
 HostId Network::add_host(std::string name, double cpu_speed) {
   hosts_.push_back(Host{std::move(name), cpu_speed});
@@ -35,11 +56,22 @@ LinkId Network::add_link(std::string name, double capacity_bytes_per_sec,
   l.latency = latency;
   l.queue_bytes = queue_bytes;
   links_.push_back(std::move(l));
+  link_capacity_.push_back(capacity_bytes_per_sec);
+  index_.ensure_links(links_.size());
+  solver_.ensure_links(links_.size());
   return static_cast<LinkId>(links_.size()) - 1;
 }
 
 void Network::add_route(HostId src, HostId dst, std::vector<LinkId> links,
                         bool symmetric) {
+  // The bipartite index keeps one (flow, position) entry per link crossing,
+  // so a route visiting the same link twice would corrupt its swap-pop
+  // bookkeeping — and means a modelling error anyway.
+  for (std::size_t i = 0; i < links.size(); ++i)
+    for (std::size_t j = i + 1; j < links.size(); ++j)
+      if (links[i] == links[j])
+        throw std::invalid_argument("route crosses link '" +
+                                    link(links[i]).name + "' twice");
   Route r;
   r.links = links;
   for (LinkId l : links) r.latency += link(l).latency;
@@ -82,8 +114,10 @@ double Network::path_queue(HostId src, HostId dst) const {
 void Network::set_link_capacity(LinkId l, double capacity_bytes_per_sec) {
   if (capacity_bytes_per_sec <= 0)
     throw std::invalid_argument("link capacity must stay positive");
-  settle();
+  const std::vector<LinkId> seed{l};
+  begin_mutation(seed, nullptr);
   links_.at(static_cast<size_t>(l)).capacity = capacity_bytes_per_sec;
+  link_capacity_[static_cast<size_t>(l)] = capacity_bytes_per_sec;
   solve_and_schedule();
 }
 
@@ -111,9 +145,13 @@ FlowId Network::start_flow(HostId src, HostId dst, double bytes,
   f.remaining = bytes;
   f.rate_cap = std::max(rate_cap, kMinRate);
   f.on_complete = std::move(on_complete);
+  f.order = f.id;  // progressive filling breaks cap ties by arrival order
+  f.last_settle = sim_.now();
+  f.settle_idx = touch_times_.size();
   const FlowId id = f.id;
-  settle();
-  flows_.emplace(id, std::move(f));
+  Flow& flow = flows_.emplace(id, std::move(f)).first->second;
+  index_.add(&flow);
+  begin_mutation(flow.links, &flow);
   solve_and_schedule();
   return id;
 }
@@ -121,7 +159,7 @@ FlowId Network::start_flow(HostId src, HostId dst, double bytes,
 void Network::set_rate_cap(FlowId id, double rate_cap) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
-  settle();
+  begin_mutation(it->second.links, &it->second);
   it->second.rate_cap = std::max(rate_cap, kMinRate);
   solve_and_schedule();
 }
@@ -129,7 +167,13 @@ void Network::set_rate_cap(FlowId id, double rate_cap) {
 void Network::cancel_flow(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
-  settle();
+  Flow& f = it->second;
+  // The dying flow is settled with its component (its final byte chunk must
+  // land in bytes_carried) but is excluded from the re-solve.
+  begin_mutation(f.links, &f);
+  index_.remove(&f);
+  if (mode_ == SolverMode::kIncremental) solver_.remove_from_component(&f);
+  forget_done_pending(id);
   flows_.erase(it);
   solve_and_schedule();
 }
@@ -137,131 +181,217 @@ void Network::cancel_flow(FlowId id) {
 FlowInfo Network::flow_info(FlowId id) const {
   auto it = flows_.find(id);
   if (it == flows_.end()) return {};
-  // Report remaining as of the last settle; callers that need byte-exact
-  // values should not race completions anyway.
-  return FlowInfo{it->second.rate, it->second.achievable,
-                  it->second.remaining};
+  const Flow& f = it->second;
+  return FlowInfo{f.rate, f.achievable, projected_remaining(f)};
+}
+
+double Network::flow_remaining(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return 0;
+  return projected_remaining(it->second);
 }
 
 double Network::link_utilization(LinkId l) const {
   double sum = 0;
-  for (const auto& [id, f] : flows_)
-    if (std::find(f.links.begin(), f.links.end(), l) != f.links.end())
-      sum += f.rate;
+  for (const maxmin::FlowState* f : index_.flows_on(l)) sum += f->rate;
   return sum;
 }
 
-void Network::settle() {
+void Network::set_solver_mode(SolverMode mode) {
+  GRIDSIM_CHECK(flows_.empty(),
+                "solver mode can only change while no flows are active");
+  mode_ = mode;
+  done_pending_.clear();
+  eta_heap_ = {};
+  touch_times_.clear();
+}
+
+void Network::register_touch() {
   const SimTime now = sim_.now();
+  last_touch_ = now;
+  if (touch_times_.empty() || touch_times_.back() != now)
+    touch_times_.push_back(now);
+  // Compact once the touch log outgrows the flow population: settling
+  // everything replays each pending (flow, segment) pair — work the lazy
+  // scheme owes anyway — after which the log can restart empty.
+  if (touch_times_.size() >= 4096 &&
+      touch_times_.size() >= 4 * flows_.size()) {
+    for (auto& [id, f] : flows_) settle_flow(f);
+    touch_times_.clear();
+    for (auto& [id, f] : flows_) f.settle_idx = 0;
+  }
+}
+
+double Network::projected_remaining(const Flow& f) const {
+  // `remaining` is anchored at the flow's own last settle; reads are
+  // quantized at the network-wide last touch, which is exactly where the
+  // eager-settle oracle would have settled everything. Replays the global
+  // settle points in between (see touch_times_) without mutating the flow.
+  if (last_touch_ == f.last_settle) return f.remaining;
+  double rem = f.remaining;
+  SimTime prev = f.last_settle;
+  for (std::size_t i = f.settle_idx; i < touch_times_.size(); ++i) {
+    const SimTime t = touch_times_[i];
+    if (t <= prev) continue;
+    if (t > last_touch_) break;
+    rem = std::max(0.0, rem - f.rate * to_seconds(t - prev));
+    prev = t;
+  }
+  if (last_touch_ > prev)
+    rem = std::max(0.0, rem - f.rate * to_seconds(last_touch_ - prev));
+  return rem;
+}
+
+void Network::settle_flow(Flow& f) {
+  const SimTime now = sim_.now();
+  if (now == f.last_settle) {
+    f.settle_idx = touch_times_.size();
+    return;
+  }
+  // Replay the oracle's settle points one segment at a time: the same
+  // max(0, rem - rate*dt) fold the eager settle performs, so `remaining`
+  // stays bit-identical to the oracle's (a single fused subtraction over
+  // the whole quiet interval differs in ulps).
+  double rem = f.remaining;
+  double moved_total = 0;
+  SimTime prev = f.last_settle;
+  const std::size_t n = touch_times_.size();
+  for (std::size_t i = f.settle_idx; i < n; ++i) {
+    const SimTime t = touch_times_[i];
+    if (t <= prev) continue;
+    if (t > now) break;
+    const double moved = f.rate * to_seconds(t - prev);
+    rem = std::max(0.0, rem - moved);
+    moved_total += moved;
+    prev = t;
+  }
+  if (now > prev) {
+    const double moved = f.rate * to_seconds(now - prev);
+    rem = std::max(0.0, rem - moved);
+    moved_total += moved;
+  }
+  f.settle_idx = n;
+  f.last_settle = now;
+  f.remaining = rem;
+  for (LinkId l : f.links)
+    links_[static_cast<size_t>(l)].bytes_carried += moved_total;
+}
+
+void Network::settle_all() {
+  const SimTime now = sim_.now();
+  last_touch_ = now;
   if (now == last_settle_) return;
   const double dt = to_seconds(now - last_settle_);
   last_settle_ = now;
   for (auto& [id, f] : flows_) {
     const double moved = f.rate * dt;
     f.remaining = std::max(0.0, f.remaining - moved);
+    f.last_settle = now;
     for (LinkId l : f.links)
       links_[static_cast<size_t>(l)].bytes_carried += moved;
   }
 }
 
-void Network::solve_and_schedule() {
-  // Progressive-filling max-min with per-flow rate caps.
-  //
-  // Repeatedly find the tightest constraint — either a link's equal share
-  // (residual / unfrozen-flow-count) or an unfrozen flow's cap — and freeze
-  // at it. A frozen flow's rate is subtracted from all links it crosses.
-  const std::size_t nl = links_.size();
-  std::vector<double> residual(nl);
-  std::vector<int> nflows(nl, 0);
-  for (std::size_t i = 0; i < nl; ++i) residual[i] = links_[i].capacity;
+void Network::begin_mutation(const std::vector<LinkId>& seed_links,
+                             Flow* seed_flow) {
+  if (mode_ == SolverMode::kGlobalOracle) {
+    settle_all();
+    return;
+  }
+  register_touch();
+  solver_.collect_component(index_, seed_links, seed_flow);
+  // Settle before the re-solve overwrites rates: bytes moved so far were
+  // moved at the *old* rates.
+  for (maxmin::FlowState* fs : solver_.comp_flows())
+    settle_flow(*static_cast<Flow*>(fs));
+}
 
-  std::vector<Flow*> unfrozen;
-  unfrozen.reserve(flows_.size());
+void Network::solve_and_schedule() {
+  if (mode_ == SolverMode::kGlobalOracle) {
+    solve_global_reference();
+    return;
+  }
+  solver_.solve_component(link_capacity_);
+  schedule_after_component_solve();
+}
+
+void Network::schedule_after_component_solve() {
+#if defined(GRIDSIM_ENABLE_DCHECKS)
+  // Per-link conservation, checked incrementally: the just-solved component
+  // must not oversubscribe any of its links (frozen outside flows kept
+  // their rates, so the whole link sum is live).
+  for (LinkId l : solver_.comp_links()) {
+    double sum = 0;
+    for (const maxmin::FlowState* f : index_.flows_on(l)) sum += f->rate;
+    GRIDSIM_DCHECK(
+        approx_le(sum, link_capacity_[static_cast<std::size_t>(l)]),
+        "link '%s' oversubscribed: %.17g > %.17g",
+        links_[static_cast<std::size_t>(l)].name.c_str(), sum,
+        link_capacity_[static_cast<std::size_t>(l)]);
+  }
+#endif
+  // Bulk completion path. The oracle's post-solve loop visits *every* flow
+  // in id order; besides the component, it inserts queue events for two
+  // kinds of outside flows: done-pending ones (each visit re-posts,
+  // invalidating the previous post via the generation counter) and flows
+  // its global settle just pushed across the done threshold — only
+  // possible when their completion check is due at this exact instant.
+  // Merge all three sets in the oracle's id order; every other flow
+  // contributes no insertion there (the eta guard returns), so skipping
+  // them changes nothing.
+  sched_scratch_.clear();
+  for (maxmin::FlowState* fs : solver_.comp_flows())
+    sched_scratch_.push_back(static_cast<Flow*>(fs));
+  const SimTime now = sim_.now();
+  while (!eta_heap_.empty() && eta_heap_.top().first <= now) {
+    const auto [eta, id] = eta_heap_.top();
+    eta_heap_.pop();
+    auto it = flows_.find(id);
+    if (it == flows_.end() || it->second.scheduled_eta != eta) continue;
+    Flow& f = it->second;
+    if (solver_.in_component(&f)) continue;
+    settle_flow(f);
+    if (f.remaining > kByteEpsilon) continue;  // re-arms from its own check
+    if (std::find(done_pending_.begin(), done_pending_.end(), id) !=
+        done_pending_.end())
+      continue;
+    if (std::find(sched_scratch_.begin(), sched_scratch_.end(), &f) ==
+        sched_scratch_.end())
+      sched_scratch_.push_back(&f);
+  }
+  for (FlowId id : done_pending_) {
+    auto it = flows_.find(id);
+    assert(it != flows_.end());
+    if (!solver_.in_component(&it->second))
+      sched_scratch_.push_back(&it->second);
+  }
+  if (sched_scratch_.size() > solver_.comp_flows().size())
+    std::sort(sched_scratch_.begin(), sched_scratch_.end(),
+              [](const Flow* a, const Flow* b) { return a->order < b->order; });
+  for (Flow* f : sched_scratch_) schedule_completion(*f);
+}
+
+void Network::solve_global_reference() {
   // Iterate in id order for determinism (unordered_map order is not stable).
   std::vector<FlowId> ids;
   ids.reserve(flows_.size());
   for (auto& [id, f] : flows_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
-  for (FlowId id : ids) {
-    Flow& f = flows_[id];
-    f.rate = 0;
-    unfrozen.push_back(&f);
-    for (LinkId l : f.links) ++nflows[static_cast<size_t>(l)];
-  }
-
-  while (!unfrozen.empty()) {
-    // Tightest link share.
-    double best_link_share = std::numeric_limits<double>::infinity();
-    LinkId best_link = -1;
-    for (std::size_t i = 0; i < nl; ++i) {
-      if (nflows[i] <= 0) continue;
-      const double share = std::max(0.0, residual[i]) / nflows[i];
-      if (share < best_link_share) {
-        best_link_share = share;
-        best_link = static_cast<LinkId>(i);
-      }
-    }
-    // Tightest flow cap.
-    double best_cap = std::numeric_limits<double>::infinity();
-    Flow* capped = nullptr;
-    for (Flow* f : unfrozen) {
-      if (f->rate_cap < best_cap) {
-        best_cap = f->rate_cap;
-        capped = f;
-      }
-    }
-
-    if (capped != nullptr && best_cap <= best_link_share) {
-      capped->rate = best_cap;
-      for (LinkId l : capped->links) {
-        residual[static_cast<size_t>(l)] -= best_cap;
-        --nflows[static_cast<size_t>(l)];
-      }
-      unfrozen.erase(std::find(unfrozen.begin(), unfrozen.end(), capped));
-    } else if (best_link >= 0) {
-      // Freeze every unfrozen flow crossing the bottleneck link.
-      std::vector<Flow*> still;
-      still.reserve(unfrozen.size());
-      for (Flow* f : unfrozen) {
-        const bool on_bottleneck =
-            std::find(f->links.begin(), f->links.end(), best_link) !=
-            f->links.end();
-        if (on_bottleneck) {
-          f->rate = best_link_share;
-          for (LinkId l : f->links) {
-            residual[static_cast<size_t>(l)] -= best_link_share;
-            --nflows[static_cast<size_t>(l)];
-          }
-        } else {
-          still.push_back(f);
-        }
-      }
-      unfrozen.swap(still);
-    } else {
-      // Flows with no links (same-host loopback handled by caller); give
-      // them their cap.
-      for (Flow* f : unfrozen) f->rate = f->rate_cap;
-      unfrozen.clear();
-    }
-  }
-
-  // Post-solve: achievable rate = own rate + slack at the tightest crossed
-  // link (what the flow could claim if its window were unlimited).
-  for (FlowId id : ids) {
-    Flow& f = flows_[id];
-    double slack = std::numeric_limits<double>::infinity();
-    for (LinkId l : f.links)
-      slack = std::min(slack, std::max(0.0, residual[static_cast<size_t>(l)]));
-    if (!std::isfinite(slack)) slack = 0.0;  // linkless flow
-    f.achievable = f.rate + slack;
-    schedule_completion(f);
-  }
+  std::vector<maxmin::FlowState*> by_order;
+  by_order.reserve(ids.size());
+  for (FlowId id : ids) by_order.push_back(&flows_[id]);
+  maxmin::solve_global_reference(by_order, links_.size(), link_capacity_);
+  for (FlowId id : ids) schedule_completion(flows_[id]);
 }
 
 void Network::schedule_completion(Flow& f) {
   const FlowId id = f.id;
   if (f.remaining <= kByteEpsilon) {
     const std::uint64_t gen = ++f.completion_gen;
+    if (mode_ == SolverMode::kIncremental &&
+        std::find(done_pending_.begin(), done_pending_.end(), id) ==
+            done_pending_.end())
+      done_pending_.push_back(id);
     sim_.post([this, id, gen] {
       auto it = flows_.find(id);
       if (it != flows_.end() && it->second.completion_gen == gen)
@@ -278,10 +408,18 @@ void Network::schedule_completion(Flow& f) {
   if (eta >= f.scheduled_eta) return;
   const std::uint64_t gen = ++f.completion_gen;
   f.scheduled_eta = eta;
+  if (mode_ == SolverMode::kIncremental) eta_heap_.emplace(eta, id);
   sim_.at(eta, [this, id, gen] {
     auto it = flows_.find(id);
     if (it == flows_.end() || it->second.completion_gen != gen) return;
-    settle();
+    if (mode_ == SolverMode::kGlobalOracle) {
+      settle_all();
+    } else {
+      // Only this flow's remaining is inspected; everyone else's rate is
+      // untouched, so nothing forces them to settle here.
+      register_touch();
+      settle_flow(it->second);
+    }
     if (it->second.remaining <= kByteEpsilon) {
       finish_flow(id);
     } else {
@@ -292,14 +430,23 @@ void Network::schedule_completion(Flow& f) {
 }
 
 void Network::finish_flow(FlowId id) {
-  settle();
   auto it = flows_.find(id);
   assert(it != flows_.end());
-  assert(it->second.remaining <= 1.0 + 1e-9 * it->second.rate);
-  std::function<void()> cb = std::move(it->second.on_complete);
+  Flow& f = it->second;
+  begin_mutation(f.links, &f);
+  assert(f.remaining <= 1.0 + 1e-9 * f.rate);
+  std::function<void()> cb = std::move(f.on_complete);
+  index_.remove(&f);
+  if (mode_ == SolverMode::kIncremental) solver_.remove_from_component(&f);
+  forget_done_pending(id);
   flows_.erase(it);
   solve_and_schedule();
   if (cb) cb();
+}
+
+void Network::forget_done_pending(FlowId id) {
+  auto it = std::find(done_pending_.begin(), done_pending_.end(), id);
+  if (it != done_pending_.end()) done_pending_.erase(it);
 }
 
 }  // namespace gridsim::net

@@ -2,11 +2,22 @@
 //
 // The network is a set of hosts joined by point-to-point links; a *flow* is
 // an in-progress byte transfer along a fixed route. Whenever the set of
-// flows (or a flow's rate cap) changes, bandwidth is re-allocated with
-// progressive-filling max-min fairness, honouring each flow's rate cap (the
-// TCP layer caps a flow at window/RTT). Flow completions are scheduled from
-// the allocation and invalidated by a generation counter when a re-solve
-// moves them.
+// flows (or a flow's rate cap, or a link's capacity) changes, bandwidth is
+// re-allocated with progressive-filling max-min fairness, honouring each
+// flow's rate cap (the TCP layer caps a flow at window/RTT). Flow
+// completions are scheduled from the allocation and invalidated by a
+// generation counter when a re-solve moves them.
+//
+// The re-solve is *incremental* (simnet/maxmin.hpp): a persistent
+// flow<->link bipartite index tracks which flows cross which links, each
+// mutation seeds a dirty set, and only the connected component of
+// links/flows reachable from it is settled and re-solved — flows outside
+// the component keep their frozen rates, and an uncontended flow takes a
+// constant-time fast path. The pre-incremental global solver is retained
+// as a differential-testing oracle behind the `GRIDSIM_NET_ORACLE` knob
+// (environment variable, or `set_solver_mode()`); both solvers produce
+// bit-identical rates, a guarantee enforced by the differential churn
+// suite and the campaign-digest oracle check in CI.
 //
 // This is the same modelling level as SimGrid's network model: accurate for
 // the first-order effects the paper studies (window-limited throughput on
@@ -17,12 +28,14 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <queue>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "simcore/simulation.hpp"
 #include "simcore/time.hpp"
+#include "simnet/maxmin.hpp"
 
 namespace gridsim::net {
 
@@ -62,9 +75,17 @@ struct FlowInfo {
   double remaining = 0;        ///< bytes not yet transferred
 };
 
+/// Which max-min solver drives the allocation. The incremental solver is
+/// the default; the global-resolve oracle is the pre-incremental code path
+/// kept for differential testing and as the bench baseline.
+enum class SolverMode {
+  kIncremental,
+  kGlobalOracle,
+};
+
 class Network {
  public:
-  explicit Network(Simulation& sim) : sim_(sim) {}
+  explicit Network(Simulation& sim);
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -73,7 +94,8 @@ class Network {
   LinkId add_link(std::string name, double capacity_bytes_per_sec,
                   SimTime latency, double queue_bytes);
   /// Registers the path src -> dst (and, if `symmetric`, dst -> src with the
-  /// links reversed). Re-registering overwrites.
+  /// links reversed). Re-registering overwrites. A route must not cross the
+  /// same link twice (the bipartite index keeps one entry per crossing).
   void add_route(HostId src, HostId dst, std::vector<LinkId> links,
                  bool symmetric = true);
 
@@ -123,39 +145,122 @@ class Network {
   bool flow_active(FlowId id) const { return flows_.count(id) != 0; }
   FlowInfo flow_info(FlowId id) const;
 
+  /// Bytes not yet transferred, quantized at the network's last settle
+  /// point (the most recent mutation or completion check anywhere) — the
+  /// exact value the global-resolve oracle reports. Settling is lazy per
+  /// flow, so this projects from the flow's own settle anchor without
+  /// mutating it; 0 for unknown ids.
+  double flow_remaining(FlowId id) const;
+
   int active_flow_count() const { return static_cast<int>(flows_.size()); }
-  /// Total allocated rate crossing `l` right now (<= capacity).
+  /// Total allocated rate crossing `l` right now (<= capacity). Reads the
+  /// persistent per-link flow list: O(flows on l), not O(flows x links).
   double link_utilization(LinkId l) const;
+
+  // --- solver mode -------------------------------------------------------
+  SolverMode solver_mode() const { return mode_; }
+  /// Switches between the incremental solver and the global oracle. Only
+  /// legal while no flows are active (mid-run switching would mix settle
+  /// disciplines). The initial mode comes from the GRIDSIM_NET_ORACLE
+  /// environment variable (or the GRIDSIM_NET_ORACLE_DEFAULT build knob).
+  void set_solver_mode(SolverMode mode);
+  /// Incremental-solver statistics: re-solve count, fast-path hits and the
+  /// peak dirty-component size (the churn micro-bench reports these).
+  const maxmin::SolverStats& solver_stats() const { return solver_.stats(); }
 
   Simulation& sim() { return sim_; }
 
  private:
-  struct Flow {
+  struct Flow : maxmin::FlowState {
     FlowId id = kInvalidFlow;
-    std::vector<LinkId> links;
     double remaining = 0;
-    double rate_cap = kUnlimitedRate;
-    double rate = 0;
-    double achievable = 0;
     std::function<void()> on_complete;
     std::uint64_t completion_gen = 0;
     SimTime scheduled_eta = kSimTimeNever;  ///< earliest pending check
+    SimTime last_settle = 0;  ///< per-flow settle anchor (lazy settle)
+    /// First entry of `touch_times_` not yet applied to this flow.
+    std::size_t settle_idx = 0;
   };
 
-  /// Applies elapsed time to all flows' remaining-byte counters.
-  void settle();
-  /// Recomputes the max-min allocation and (re)schedules completions.
+  /// Oracle mode: applies elapsed time to all flows' remaining-byte
+  /// counters (the historical eager settle).
+  void settle_all();
+  /// Incremental mode: settles one flow to `sim_.now()` — only flows whose
+  /// rate is about to change are settled, so quiet flows cost nothing.
+  void settle_flow(Flow& f);
+  /// `remaining` as the oracle's eager settle would report it, without
+  /// mutating the flow's settle anchor.
+  double projected_remaining(const Flow& f) const;
+
+  /// Incremental mode: records `sim_.now()` as a global settle point (the
+  /// instant the oracle's eager settle would run) and bumps `last_touch_`.
+  /// Compacts `touch_times_` when it outgrows the active-flow population.
+  void register_touch();
+
+  /// Collects + settles the dirty component seeded by `seed_links` /
+  /// `seed_flow` (incremental), or settles everything (oracle). Every
+  /// mutation calls this before touching solver inputs.
+  void begin_mutation(const std::vector<LinkId>& seed_links, Flow* seed_flow);
+  /// Re-solves (component or global, by mode) and (re)schedules
+  /// completions for every flow whose allocation was recomputed.
   void solve_and_schedule();
+  /// The oracle path: global progressive filling over all links and flows.
+  void solve_global_reference();
+  /// Post-solve scheduling for the incremental path: completion checks for
+  /// component flows, merged with the bulk re-post of done-pending flows.
+  void schedule_after_component_solve();
+
   void schedule_completion(Flow& f);
   void finish_flow(FlowId id);
+  void forget_done_pending(FlowId id);
 
   Simulation& sim_;
   std::vector<Host> hosts_;
   std::vector<Link> links_;
+  /// Capacities mirrored by LinkId for the solver (kept in sync by
+  /// add_link / set_link_capacity).
+  std::vector<double> link_capacity_;
   std::unordered_map<std::uint64_t, Route> routes_;  // key = src<<32 | dst
   std::unordered_map<FlowId, Flow> flows_;
+  maxmin::BipartiteIndex index_;
+  maxmin::Solver solver_;
+  /// Flows whose completion post is in flight (remaining hit zero, the
+  /// finish callback not yet drained). The historical solver re-posted
+  /// every such flow on *every* re-solve — each re-post invalidates the
+  /// previous one via the generation counter, deferring the finish past
+  /// same-timestamp events inserted in between — so the incremental solver
+  /// must re-post them too (the bulk completion path), or completion order
+  /// and the engine's event count drift from the oracle.
+  std::vector<FlowId> done_pending_;
+  std::vector<Flow*> sched_scratch_;
+  /// Completion-check etas, lazily invalidated (an entry is live iff the
+  /// flow still exists with that exact scheduled_eta). The oracle's global
+  /// settle can push a flow in a *disjoint* component across the done
+  /// threshold when its check is due at the current instant — symmetric
+  /// transfers finishing at the same quantized eta make this common — and
+  /// then posts its completion from the post-solve loop. Draining due
+  /// entries at each solve finds those flows in O(log n) amortized without
+  /// touching quiet ones.
+  std::priority_queue<std::pair<SimTime, FlowId>,
+                      std::vector<std::pair<SimTime, FlowId>>, std::greater<>>
+      eta_heap_;
+  /// Global settle points since the last compaction (incremental mode),
+  /// strictly increasing. The oracle settles *every* flow at *every* touch,
+  /// so its remaining-byte counters are folds of per-segment subtractions;
+  /// a lazily settled flow replays exactly those segments (each flow keeps
+  /// its resume position in Flow::settle_idx) so `remaining` stays
+  /// bit-identical to the oracle — one fused subtraction over the whole
+  /// quiet interval differs in ulps, which a `ceil` at a nanosecond
+  /// boundary turns into a 1 ns completion shift. Replay is segment-exact
+  /// regardless of when it runs, so the vector is compacted (settle all,
+  /// clear) whenever it outgrows the flow population.
+  std::vector<SimTime> touch_times_;
+  SolverMode mode_;
   FlowId next_flow_id_ = 1;
-  SimTime last_settle_ = 0;
+  /// When the oracle's global settle would last have run: every mutation
+  /// and completion check bumps it (lazy settle quantizes reads here).
+  SimTime last_touch_ = 0;
+  SimTime last_settle_ = 0;  ///< oracle-mode global settle anchor
 
   static std::uint64_t route_key(HostId src, HostId dst) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))

@@ -335,7 +335,11 @@ void TcpChannel::apply_idle_decay() {
 
 void TcpChannel::update_flow_cap() {
   if (flow_ == net::kInvalidFlow) return;
-  const double remaining = net_.flow_info(flow_).remaining;
+  // flow_remaining() is quantized at the network's last settle point, so
+  // the cap computed here — and with it the solved rates and every pinned
+  // campaign digest — is identical under the incremental solver and the
+  // eager-settling oracle.
+  const double remaining = net_.flow_remaining(flow_);
   net_.set_rate_cap(flow_, rate_cap(remaining));
 }
 
